@@ -1,0 +1,184 @@
+//! Criterion micro-benchmarks for the primitive costs underlying the
+//! paper's figures: sync operations (Table 1 cost model), link-and-persist
+//! vs plain CAS, link-cache insertion, allocation with and without APT
+//! hits, and single operations on each structure.
+//!
+//! `cargo bench -p bench` — the figure-level harnesses live in
+//! `src/bin/` (see DESIGN.md).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linkcache::LinkCache;
+use logfree::{marked::DIRTY, LinkOps};
+use nvalloc::NvDomain;
+use pmem::{LatencyModel, Mode, PoolBuilder};
+
+fn bench_sync_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync");
+    g.measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(100));
+    for (name, ns) in [("125ns", 125u64), ("1250ns", 1_250)] {
+        let pool =
+            PoolBuilder::new(1 << 20).mode(Mode::Perf).latency(LatencyModel::new(ns)).build();
+        let mut f = pool.flusher();
+        let a = pool.heap_start();
+        g.bench_function(format!("clwb+fence/{name}"), |b| {
+            b.iter(|| {
+                f.clwb(a);
+                f.fence();
+            })
+        });
+        let mut f2 = pool.flusher();
+        g.bench_function(format!("8xclwb+fence/{name}"), |b| {
+            b.iter(|| {
+                for i in 0..8 {
+                    f2.clwb(a + 64 * i);
+                }
+                f2.fence();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_link_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("link_update");
+    g.measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(100));
+    let pool = PoolBuilder::new(1 << 20)
+        .mode(Mode::Perf)
+        .latency(LatencyModel::PAPER_DEFAULT)
+        .build();
+    let a = pool.heap_start();
+
+    let volatile_pool = PoolBuilder::new(1 << 20).mode(Mode::Volatile).build();
+    let vops = LinkOps::new(Arc::clone(&volatile_pool), None);
+    let mut vf = volatile_pool.flusher();
+    let va = volatile_pool.heap_start();
+    let mut v = 0u64;
+    g.bench_function("plain_cas(volatile)", |b| {
+        b.iter(|| {
+            let old = vops.load(va);
+            vops.link_cas(1, va, old, (v & 0xFFFF) << 3, &mut vf);
+            v += 1;
+        })
+    });
+
+    let ops = LinkOps::new(Arc::clone(&pool), None);
+    let mut f = pool.flusher();
+    let mut v = 0u64;
+    g.bench_function("link_and_persist", |b| {
+        b.iter(|| {
+            let old = ops.load(a);
+            ops.link_cas(1, a, old, (v & 0xFFFF) << 3, &mut f);
+            v += 1;
+        })
+    });
+
+    let lc = Arc::new(LinkCache::with_default_size(Arc::clone(&pool), DIRTY));
+    let cops = LinkOps::new(Arc::clone(&pool), Some(Arc::clone(&lc)));
+    let mut cf = pool.flusher();
+    let mut v = 0u64;
+    g.bench_function("link_cache_add", |b| {
+        b.iter(|| {
+            let old = cops.load(a);
+            cops.link_cas(v, a, old, (v & 0xFFFF) << 3, &mut cf);
+            v += 1;
+            if v % 64 == 0 {
+                lc.flush_all(&mut cf);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nvalloc");
+    g.measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(100));
+    let pool = PoolBuilder::new(256 << 20)
+        .mode(Mode::Perf)
+        .latency(LatencyModel::PAPER_DEFAULT)
+        .build();
+    let domain = NvDomain::create(pool);
+    let mut ctx = domain.register();
+    // Steady-state alloc/retire churn: almost always APT hits.
+    g.bench_function("alloc+retire(apt_hot)", |b| {
+        b.iter(|| {
+            ctx.begin_op();
+            let a = ctx.alloc(64).expect("pool sized");
+            ctx.retire(a);
+            ctx.end_op();
+        })
+    });
+    let mut ctx2 = domain.register();
+    ctx2.set_mem_mode(nvalloc::MemMode::IntentLog);
+    g.bench_function("alloc+retire(intent_log)", |b| {
+        b.iter(|| {
+            ctx2.begin_op();
+            let a = ctx2.alloc(64).expect("pool sized");
+            ctx2.retire(a);
+            ctx2.end_op();
+        })
+    });
+    g.finish();
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structure_ops");
+    g.measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(150));
+    let pool = PoolBuilder::new(512 << 20)
+        .mode(Mode::Perf)
+        .latency(LatencyModel::PAPER_DEFAULT)
+        .build();
+    let domain = NvDomain::create(Arc::clone(&pool));
+    let mut ctx = domain.register();
+    let ht = logfree::HashTable::create(&domain, 1, 1024, LinkOps::new(Arc::clone(&pool), None))
+        .expect("pool sized");
+    let sl =
+        logfree::SkipList::create(&domain, &mut ctx, 2, LinkOps::new(Arc::clone(&pool), None))
+            .expect("pool sized");
+    let bst = logfree::Bst::create(&domain, &mut ctx, 3, LinkOps::new(Arc::clone(&pool), None))
+        .expect("pool sized");
+    // Scrambled prefill order: ascending keys would degenerate the
+    // external BST into a spine.
+    let mut seed = 0x9E37u64;
+    for _ in 1..=1024u64 {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let k = seed % 1_000_000 + 1;
+        ht.insert(&mut ctx, k, k).expect("pool sized");
+        sl.insert(&mut ctx, k, k).expect("pool sized");
+        bst.insert(&mut ctx, k, k).expect("pool sized");
+    }
+    let mut k = 2_000_000u64;
+    g.bench_function("hash_insert_remove", |b| {
+        b.iter(|| {
+            k = k % 100_000 + 2000;
+            ht.insert(&mut ctx, k, k).expect("pool sized");
+            ht.remove(&mut ctx, k);
+        })
+    });
+    g.bench_function("skiplist_insert_remove", |b| {
+        b.iter(|| {
+            k = (k.wrapping_mul(6364136223846793005).wrapping_add(1) % 1_000_000) + 2_000_000;
+            sl.insert(&mut ctx, k, k).expect("pool sized");
+            sl.remove(&mut ctx, k);
+        })
+    });
+    g.bench_function("bst_insert_remove", |b| {
+        b.iter(|| {
+            k = (k.wrapping_mul(6364136223846793005).wrapping_add(1) % 1_000_000) + 2_000_000;
+            bst.insert(&mut ctx, k, k).expect("pool sized");
+            bst.remove(&mut ctx, k);
+        })
+    });
+    g.bench_function("hash_get", |b| {
+        b.iter(|| {
+            k = (k.wrapping_mul(6364136223846793005).wrapping_add(1) % 1_000_000) + 1;
+            ht.get(&mut ctx, k)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sync_primitives, bench_link_update, bench_allocation, bench_structures);
+criterion_main!(benches);

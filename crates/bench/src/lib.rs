@@ -1,0 +1,487 @@
+//! Shared experiment harness for regenerating every table and figure of
+//! the paper's evaluation (§6). See `src/bin/` for one binary per
+//! table/figure and DESIGN.md for the experiment index.
+//!
+//! The harness follows the paper's methodology:
+//!
+//! * structures are pre-filled to the target size, with keys drawn from a
+//!   range of twice the size (so a 50/50 insert/remove mix holds the size
+//!   steady);
+//! * workers run a fixed-duration timed loop; throughput is
+//!   operations/second summed over workers;
+//! * reported numbers are medians of [`REPEATS`] repetitions (§6.1 uses
+//!   the median of 5);
+//! * NVRAM write latency defaults to the paper's 125 ns and is injected
+//!   once per write-back batch ([`pmem::LatencyModel`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use linkcache::LinkCache;
+use logbased::{LogDirectory, RedoLog};
+use logfree::LinkOps;
+use nvalloc::{AptStats, MemMode, NvDomain, ThreadCtx};
+use pmem::{LatencyModel, Mode, PmemPool, PoolBuilder};
+
+/// Repetitions per configuration (paper: median of 5). Override with the
+/// `REPEATS` environment variable.
+pub const REPEATS: usize = 3;
+
+/// Default timed-phase duration per repetition. Override with
+/// `MEASURE_MS`.
+pub const MEASURE_MS: u64 = 200;
+
+/// Reads an environment knob with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Whether full-scale (paper-sized, up to 4M elements) runs are enabled
+/// (`FULL=1`). Default keeps every harness under a few minutes.
+pub fn full_scale() -> bool {
+    env_u64("FULL", 0) == 1
+}
+
+/// The structures of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DsKind {
+    /// Harris / lazy linked list.
+    LinkedList,
+    /// Hash table (one list per bucket).
+    HashTable,
+    /// Skip list.
+    SkipList,
+    /// External BST.
+    Bst,
+}
+
+impl DsKind {
+    /// Display name used in harness output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DsKind::LinkedList => "linked-list",
+            DsKind::HashTable => "hash-table",
+            DsKind::SkipList => "skip-list",
+            DsKind::Bst => "bst",
+        }
+    }
+
+    /// The element counts Figure 5 sweeps for this structure.
+    pub fn fig5_sizes(&self) -> Vec<u64> {
+        let full = full_scale();
+        match self {
+            DsKind::LinkedList => {
+                if full {
+                    vec![32, 128, 4096, 65_536]
+                } else {
+                    vec![32, 128, 4096, 16_384]
+                }
+            }
+            _ => {
+                if full {
+                    vec![128, 4096, 65_536, 4_194_304]
+                } else {
+                    vec![128, 4096, 65_536]
+                }
+            }
+        }
+    }
+}
+
+/// Per-thread state handed to workers.
+pub struct Worker {
+    /// The allocation/epoch context.
+    pub ctx: ThreadCtx,
+    /// Redo log (log-based structures only).
+    pub log: Option<RedoLog>,
+}
+
+/// Uniform set interface over all durable structures under test.
+pub trait SetDs: Sync + std::any::Any {
+    /// Inserts `k -> v`; true if newly inserted.
+    fn insert(&self, w: &mut Worker, k: u64, v: u64) -> bool;
+    /// Removes `k`.
+    fn remove(&self, w: &mut Worker, k: u64) -> Option<u64>;
+    /// Looks up `k`.
+    fn get(&self, w: &mut Worker, k: u64) -> Option<u64>;
+    /// Downcast support (bulk-load fast paths in the harness).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+macro_rules! impl_logfree {
+    ($t:ty) => {
+        impl SetDs for $t {
+            fn insert(&self, w: &mut Worker, k: u64, v: u64) -> bool {
+                <$t>::insert(self, &mut w.ctx, k, v).expect("pool sized for workload")
+            }
+            fn remove(&self, w: &mut Worker, k: u64) -> Option<u64> {
+                <$t>::remove(self, &mut w.ctx, k)
+            }
+            fn get(&self, w: &mut Worker, k: u64) -> Option<u64> {
+                <$t>::get(self, &mut w.ctx, k)
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+    };
+}
+
+impl_logfree!(logfree::LinkedList);
+impl_logfree!(logfree::HashTable);
+impl_logfree!(logfree::SkipList);
+impl_logfree!(logfree::Bst);
+
+macro_rules! impl_logbased {
+    ($t:ty) => {
+        impl SetDs for $t {
+            fn insert(&self, w: &mut Worker, k: u64, v: u64) -> bool {
+                let log = w.log.as_mut().expect("log-based worker has a redo log");
+                <$t>::insert(self, &mut w.ctx, log, k, v).expect("pool sized for workload")
+            }
+            fn remove(&self, w: &mut Worker, k: u64) -> Option<u64> {
+                let log = w.log.as_mut().expect("log-based worker has a redo log");
+                <$t>::remove(self, &mut w.ctx, log, k)
+            }
+            fn get(&self, w: &mut Worker, k: u64) -> Option<u64> {
+                <$t>::get(self, &mut w.ctx, k)
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+    };
+}
+
+impl_logbased!(logbased::LazyList);
+impl_logbased!(logbased::LazyHashTable);
+impl_logbased!(logbased::LockSkipList);
+impl_logbased!(logbased::BstTk);
+
+/// A constructed system under test: pool + domain + structure (+ log
+/// directory for the baselines).
+pub struct Instance {
+    /// The backing pool.
+    pub pool: Arc<PmemPool>,
+    /// The allocation domain.
+    pub domain: Arc<NvDomain>,
+    /// The structure under test.
+    pub ds: Box<dyn SetDs>,
+    /// Present for log-based baselines.
+    pub logdir: Option<Arc<LogDirectory>>,
+    /// Present when the structure uses the link cache.
+    pub lc: Option<Arc<LinkCache>>,
+    /// Memory mode workers should run with.
+    pub mem_mode: MemMode,
+}
+
+impl Instance {
+    /// Creates a per-thread worker.
+    pub fn worker(&self) -> Worker {
+        let mut ctx = self.domain.register();
+        ctx.set_mem_mode(self.mem_mode);
+        if let Some(lc) = &self.lc {
+            let lc = Arc::clone(lc);
+            let pool = Arc::clone(&self.pool);
+            ctx.set_trim_hook(Box::new(move |f| {
+                let _ = &pool;
+                lc.flush_all(f);
+            }));
+        }
+        let log = self.logdir.as_ref().map(|d| d.open(ctx.tid()));
+        Worker { ctx, log }
+    }
+}
+
+/// Which implementation family to construct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// Log-free with link-and-persist only.
+    LogFree,
+    /// Log-free with the link cache enabled.
+    LogFreeLc,
+    /// Lock-based with redo logging (and intent-logged memory
+    /// management).
+    LogBased,
+    /// Lock-based with redo logging but NV-epochs memory management
+    /// (Figure 8's "identical memory management" configuration).
+    LogBasedNvMem,
+}
+
+/// Pool size heuristic for `size` elements (with slack for churn).
+pub fn pool_bytes(size: u64) -> usize {
+    let per_elem = 512u64; // node + slab + skiplist towers + slack
+    ((size * per_elem).max(64 << 20) as usize) + (64 << 20)
+}
+
+/// Builds an instance of `kind`/`flavor` over a pool in `mode` with the
+/// given latency.
+pub fn build(kind: DsKind, flavor: Flavor, size: u64, mode: Mode, latency: LatencyModel) -> Instance {
+    let pool = PoolBuilder::new(pool_bytes(size)).mode(mode).latency(latency).build();
+    let domain = NvDomain::create(Arc::clone(&pool));
+    let buckets = (size.max(64) as usize).next_power_of_two();
+    match flavor {
+        Flavor::LogFree | Flavor::LogFreeLc => {
+            let lc = (flavor == Flavor::LogFreeLc && mode != Mode::Volatile)
+                .then(|| Arc::new(LinkCache::with_default_size(Arc::clone(&pool), logfree::marked::DIRTY)));
+            let mk_ops = || LinkOps::new(Arc::clone(&pool), lc.clone());
+            let mut ctx = domain.register();
+            let ds: Box<dyn SetDs> = match kind {
+                DsKind::LinkedList => {
+                    Box::new(logfree::LinkedList::create(&domain, 1, mk_ops()))
+                }
+                DsKind::HashTable => Box::new(
+                    logfree::HashTable::create(&domain, 1, buckets, mk_ops())
+                        .expect("pool sized for bucket array"),
+                )
+,
+                DsKind::SkipList => Box::new(
+                    logfree::SkipList::create(&domain, &mut ctx, 1, mk_ops())
+                        .expect("pool sized for head"),
+                ),
+                DsKind::Bst => Box::new(
+                    logfree::Bst::create(&domain, &mut ctx, 1, mk_ops())
+                        .expect("pool sized for sentinels"),
+                ),
+            };
+            Instance { pool, domain, ds, logdir: None, lc, mem_mode: MemMode::NvEpochs }
+        }
+        Flavor::LogBased | Flavor::LogBasedNvMem => {
+            let logdir = Arc::new(LogDirectory::create(&domain, 0).expect("log directory"));
+            let mut ctx = domain.register();
+            let ds: Box<dyn SetDs> = match kind {
+                DsKind::LinkedList => {
+                    Box::new(logbased::LazyList::create(&domain, &mut ctx, 1).expect("create"))
+                }
+                DsKind::HashTable => Box::new(
+                    logbased::LazyHashTable::create(&domain, &mut ctx, 1, buckets)
+                        .expect("create"),
+                ),
+                DsKind::SkipList => {
+                    Box::new(logbased::LockSkipList::create(&domain, &mut ctx, 1).expect("create"))
+                }
+                DsKind::Bst => {
+                    Box::new(logbased::BstTk::create(&domain, &mut ctx, 1).expect("create"))
+                }
+            };
+            let mem_mode = if flavor == Flavor::LogBased && mode != Mode::Volatile {
+                MemMode::IntentLog
+            } else {
+                MemMode::NvEpochs
+            };
+            Instance { pool, domain, ds, logdir: Some(logdir), lc: None, mem_mode }
+        }
+    }
+}
+
+/// Simple xorshift for workload key streams.
+pub struct Xorshift(u64);
+
+impl Xorshift {
+    /// Seeds the generator (seed 0 is remapped).
+    pub fn new(seed: u64) -> Self {
+        Self(seed.max(1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// Next pseudo-random u64. The state advances by xorshift; the
+    /// output goes through a splitmix64 finalizer. The finalizer matters:
+    /// raw xorshift low bits are GF(2)-linear in the low state bits, so
+    /// `key = x % 2^k` would deterministically fix the next draw's parity
+    /// — every key would always receive the same insert-or-remove choice
+    /// and the workload would freeze after one pass over the key space.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        let mut y = x;
+        y = (y ^ (y >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        y = (y ^ (y >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        y ^ (y >> 31)
+    }
+
+    /// Uniform in `[1, bound]`.
+    #[inline]
+    pub fn key(&mut self, bound: u64) -> u64 {
+        (self.next_u64() % bound.max(1)) + 1
+    }
+}
+
+/// Pre-fills `inst` with `size` elements (every other key of the
+/// `2 * size` range, the steady-state convention).
+pub fn prefill(inst: &Instance, size: u64) {
+    let mut w = inst.worker();
+    // Sorted even keys: O(n) for the linked list via bulk load where
+    // available, O(n log n) otherwise.
+    if size == 0 {
+        return;
+    }
+    let items: Vec<(u64, u64)> = (0..size).map(|i| (2 * i + 2, i)).collect();
+    // Bulk-load fast path for the log-free linked list (bench prefill
+    // would otherwise be O(n^2)).
+    if let Some(ll) = as_linkedlist(&*inst.ds) {
+        ll.bulk_load_sorted(&mut w.ctx, &items).expect("pool sized");
+        return;
+    }
+    if let Some(ll) = as_lazylist(&*inst.ds) {
+        ll.bulk_load_sorted(&mut w.ctx, &items).expect("pool sized");
+        return;
+    }
+    // Insert in random order: sorted insertion would degenerate the
+    // external BST into a list (the paper prefills with random keys).
+    let mut items = items;
+    let mut rng = Xorshift::new(0xF1F1);
+    for i in (1..items.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+    for &(k, v) in &items {
+        inst.ds.insert(&mut w, k, v);
+    }
+    w.ctx.drain_all();
+}
+
+fn as_linkedlist(ds: &dyn SetDs) -> Option<&logfree::LinkedList> {
+    ds.as_any().downcast_ref()
+}
+
+fn as_lazylist(ds: &dyn SetDs) -> Option<&logbased::LazyList> {
+    ds.as_any().downcast_ref()
+}
+
+/// Outcome of a timed run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Total operations completed.
+    pub ops: u64,
+    /// Timed duration.
+    pub elapsed: Duration,
+    /// Aggregated APT counters over all workers.
+    pub apt: AptStats,
+    /// Aggregated sync batches over all workers.
+    pub sync_batches: u64,
+}
+
+impl RunStats {
+    /// Operations per second.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs a mixed workload: `update_pct` percent updates (half inserts,
+/// half removes) and the rest lookups, keys uniform in `[1, 2 * size]`.
+pub fn run_mixed(
+    inst: &Instance,
+    threads: usize,
+    duration: Duration,
+    size: u64,
+    update_pct: u32,
+    seed: u64,
+) -> RunStats {
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    let apt = parking_lot_free_cell();
+    let syncs = AtomicU64::new(0);
+    let key_range = (2 * size).max(2);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let stop = &stop;
+            let total_ops = &total_ops;
+            let barrier = &barrier;
+            let apt = &apt;
+            let syncs = &syncs;
+            let mut w = inst.worker();
+            let ds = &*inst.ds;
+            s.spawn(move || {
+                let mut rng = Xorshift::new(seed * 1000 + t as u64);
+                barrier.wait();
+                let mut ops = 0u64;
+                let before_apt = w.ctx.apt_stats();
+                let before_sync = w.ctx.flusher.stats().sync_batches;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..32 {
+                        let k = rng.key(key_range);
+                        let roll = (rng.next_u64() % 100) as u32;
+                        if roll < update_pct {
+                            if roll % 2 == 0 {
+                                ds.insert(&mut w, k, k);
+                            } else {
+                                ds.remove(&mut w, k);
+                            }
+                        } else {
+                            ds.get(&mut w, k);
+                        }
+                        ops += 1;
+                    }
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+                let a = w.ctx.apt_stats();
+                apt[0].fetch_add(a.alloc_hits - before_apt.alloc_hits, Ordering::Relaxed);
+                apt[1].fetch_add(a.alloc_misses - before_apt.alloc_misses, Ordering::Relaxed);
+                apt[2].fetch_add(a.unlink_hits - before_apt.unlink_hits, Ordering::Relaxed);
+                apt[3].fetch_add(a.unlink_misses - before_apt.unlink_misses, Ordering::Relaxed);
+                syncs.fetch_add(
+                    w.ctx.flusher.stats().sync_batches - before_sync,
+                    Ordering::Relaxed,
+                );
+                w.ctx.drain_all();
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        let _ = start;
+    });
+    RunStats {
+        ops: total_ops.load(Ordering::Relaxed),
+        elapsed: duration,
+        apt: AptStats {
+            alloc_hits: apt[0].load(Ordering::Relaxed),
+            alloc_misses: apt[1].load(Ordering::Relaxed),
+            unlink_hits: apt[2].load(Ordering::Relaxed),
+            unlink_misses: apt[3].load(Ordering::Relaxed),
+        },
+        sync_batches: syncs.load(Ordering::Relaxed),
+    }
+}
+
+fn parking_lot_free_cell() -> [AtomicU64; 4] {
+    std::array::from_fn(|_| AtomicU64::new(0))
+}
+
+/// Median of repeated throughput measurements of the same configuration.
+pub fn median_throughput(
+    mk: impl Fn() -> Instance,
+    threads: usize,
+    size: u64,
+    update_pct: u32,
+) -> f64 {
+    let repeats = env_u64("REPEATS", REPEATS as u64) as usize;
+    let duration = Duration::from_millis(env_u64("MEASURE_MS", MEASURE_MS));
+    let mut results = Vec::with_capacity(repeats);
+    for rep in 0..repeats {
+        let inst = mk();
+        prefill(&inst, size);
+        let stats = run_mixed(&inst, threads, duration, size, update_pct, rep as u64 + 1);
+        results.push(stats.throughput());
+    }
+    results.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
+    results[results.len() / 2]
+}
+
+/// Formats a ratio line in the style of the paper's figures.
+pub fn print_ratio_row(label: &str, ours: f64, baseline: f64, paper: Option<f64>) {
+    let ratio = ours / baseline.max(1e-9);
+    match paper {
+        Some(p) => println!(
+            "{label:<40} {ratio:>8.2}x   (paper reported ~{p:.2}x)  [ours {ours:>12.0} ops/s vs {baseline:>12.0}]"
+        ),
+        None => println!("{label:<40} {ratio:>8.2}x   [ours {ours:>12.0} ops/s vs {baseline:>12.0}]"),
+    }
+}

@@ -1,0 +1,157 @@
+//! Durable lock-free hash table: one Harris linked list per bucket (§3),
+//! exactly as in the paper's evaluation. The bucket array is a persistent
+//! region; each bucket is a single link word anchoring a [`crate::list`]
+//! chain.
+//!
+//! The table does not resize (the paper sizes it per experiment); choose
+//! `n_buckets` for the expected element count.
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+
+use nvalloc::{NvDomain, OutOfMemory, ThreadCtx};
+use pmem::Flusher;
+
+use crate::list;
+use crate::marked::addr_of;
+use crate::ops::LinkOps;
+
+/// Durable lock-free hash table.
+pub struct HashTable {
+    ops: LinkOps,
+    /// Address of the region data area: `[n_buckets: u64][bucket words]`.
+    meta: usize,
+    n_buckets: usize,
+}
+
+impl HashTable {
+    /// Creates a table with `n_buckets` buckets (rounded up to a power of
+    /// two), anchored at root slot `root_idx`.
+    pub fn create(
+        domain: &NvDomain,
+        root_idx: usize,
+        n_buckets: usize,
+        ops: LinkOps,
+    ) -> Result<Self, OutOfMemory> {
+        let n_buckets = n_buckets.next_power_of_two();
+        let pool = domain.pool();
+        let mut flusher = pool.flusher();
+        let meta = domain.heap().alloc_region(8 + n_buckets * 8, &mut flusher)?;
+        pool.atomic_u64(meta).store(n_buckets as u64, Ordering::Release);
+        // Bucket words start zeroed (fresh region pages are zero-filled);
+        // persist the metadata word and the root.
+        flusher.persist(meta, 8);
+        pool.set_root(root_idx, meta as u64, &mut flusher);
+        Ok(Self { ops, meta, n_buckets })
+    }
+
+    /// Re-attaches after a crash to the table anchored at `root_idx`. Run
+    /// [`Self::recover`] before serving operations.
+    pub fn attach(domain: &NvDomain, root_idx: usize, ops: LinkOps) -> Self {
+        let pool = domain.pool();
+        let meta = pool.root(root_idx) as usize;
+        let n_buckets = pool.atomic_u64(meta).load(Ordering::Acquire) as usize;
+        Self { ops, meta, n_buckets }
+    }
+
+    /// The persistence engine.
+    pub fn ops(&self) -> &LinkOps {
+        &self.ops
+    }
+
+    /// Number of buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.n_buckets
+    }
+
+    #[inline]
+    fn bucket_link(&self, key: u64) -> usize {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let b = (h >> 32) as usize & (self.n_buckets - 1);
+        self.meta + 8 + b * 8
+    }
+
+    /// Inserts `key -> value`; returns `Ok(false)` if the key existed.
+    pub fn insert(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
+        ctx.begin_op();
+        let r = list::insert(&self.ops, ctx, self.bucket_link(key), key, value);
+        ctx.end_op();
+        r
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        ctx.begin_op();
+        let r = list::remove(&self.ops, ctx, self.bucket_link(key), key);
+        ctx.end_op();
+        r
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        ctx.begin_op();
+        let r = list::get(&self.ops, ctx, self.bucket_link(key), key);
+        ctx.end_op();
+        r
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, ctx: &mut ThreadCtx, key: u64) -> bool {
+        self.get(ctx, key).is_some()
+    }
+
+    /// Quiescent post-crash fixup of every bucket chain; returns
+    /// `(dirty_cleared, unlinked)` totals.
+    pub fn recover(&self, flusher: &mut Flusher) -> (u64, u64) {
+        let mut dirty = 0;
+        let mut unlinked = 0;
+        for b in 0..self.n_buckets {
+            let (d, u) = list::recover_chain(&self.ops, self.meta + 8 + b * 8, flusher);
+            dirty += d;
+            unlinked += u;
+        }
+        (dirty, unlinked)
+    }
+
+    /// §5.5 first-approach oracle: is there a node at exactly `addr`
+    /// linked in the table? (Reads the candidate's key, searches its
+    /// bucket, compares node identity.)
+    pub fn contains_node_at(&self, addr: usize) -> bool {
+        let key = self.ops.pool().atomic_u64(addr + list::KEY_OFF).load(Ordering::Acquire);
+        let mut curr = addr_of(self.ops.load(self.bucket_link(key)));
+        while curr != 0 {
+            let w = self.ops.load(list::next_addr(curr));
+            if curr == addr {
+                return !crate::marked::is_deleted(w);
+            }
+            if list::key_at(&self.ops, curr) > key {
+                return false;
+            }
+            curr = addr_of(w);
+        }
+        false
+    }
+
+    /// Reachability set over all buckets (§5.5 second approach).
+    pub fn collect_reachable(&self) -> HashSet<usize> {
+        let mut set = HashSet::new();
+        for b in 0..self.n_buckets {
+            list::reachable_chain(&self.ops, self.meta + 8 + b * 8, &mut set);
+        }
+        set
+    }
+
+    /// Quiescent snapshot of live pairs (unordered across buckets).
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut v = Vec::new();
+        for b in 0..self.n_buckets {
+            list::snapshot_chain(&self.ops, self.meta + 8 + b * 8, &mut v);
+        }
+        v
+    }
+}
+
+// SAFETY: all shared state lives in the pool and is accessed atomically.
+unsafe impl Send for HashTable {}
+// SAFETY: see above.
+unsafe impl Sync for HashTable {}

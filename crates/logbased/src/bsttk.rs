@@ -1,0 +1,318 @@
+//! Lock-based external BST in the style of **bst-tk** (David, Guerraoui,
+//! Trigonakis — ASPLOS 2015), with redo logging — the paper's BST
+//! baseline (§6.2).
+//!
+//! Searches are wait-free; an insert locks the parent, a delete locks the
+//! grandparent and parent, validates, and commits the splice as one
+//! redo-logged transaction.
+//!
+//! # Node layout (one 64-byte slot, internal and leaf)
+//!
+//! ```text
+//! +0   key      u64
+//! +8   value    u64    (leaves)
+//! +16  left     u64    (0 in leaves)
+//! +24  right    u64    (0 in leaves)
+//! +32  lock     u64    (volatile spinlock)
+//! +40  removed  u64    (validation flag, logged)
+//! ```
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use nvalloc::{NvDomain, OutOfMemory, ThreadCtx};
+use pmem::{Flusher, PmemPool};
+
+use crate::redo::RedoLog;
+
+const KEY_OFF: usize = 0;
+const VAL_OFF: usize = 8;
+const LEFT_OFF: usize = 16;
+const RIGHT_OFF: usize = 24;
+const LOCK_OFF: usize = 32;
+const REMOVED_OFF: usize = 40;
+const NODE_SIZE: usize = 48;
+
+/// Largest user key (three values reserved for sentinels).
+pub const MAX_BST_KEY: u64 = u64::MAX - 3;
+const INF0: u64 = u64::MAX - 2;
+const INF1: u64 = u64::MAX - 1;
+const INF2: u64 = u64::MAX;
+
+/// The log-based lock-based external BST.
+pub struct BstTk {
+    pool: Arc<PmemPool>,
+    root: usize,
+}
+
+impl BstTk {
+    /// Creates an empty tree anchored at root slot `root_idx`.
+    pub fn create(
+        domain: &NvDomain,
+        ctx: &mut ThreadCtx,
+        root_idx: usize,
+    ) -> Result<Self, OutOfMemory> {
+        let pool = Arc::clone(domain.pool());
+        ctx.begin_op();
+        let mk = |ctx: &mut ThreadCtx, key: u64, l: usize, r: usize| -> Result<usize, OutOfMemory> {
+            let n = ctx.alloc(NODE_SIZE)?;
+            pool.atomic_u64(n + KEY_OFF).store(key, Ordering::Relaxed);
+            pool.atomic_u64(n + VAL_OFF).store(0, Ordering::Relaxed);
+            pool.atomic_u64(n + LEFT_OFF).store(l as u64, Ordering::Relaxed);
+            pool.atomic_u64(n + RIGHT_OFF).store(r as u64, Ordering::Relaxed);
+            pool.atomic_u64(n + LOCK_OFF).store(0, Ordering::Relaxed);
+            pool.atomic_u64(n + REMOVED_OFF).store(0, Ordering::Release);
+            ctx.flusher.clwb_range(n, NODE_SIZE);
+            Ok(n)
+        };
+        let inf0 = mk(ctx, INF0, 0, 0)?;
+        let inf1 = mk(ctx, INF1, 0, 0)?;
+        let inf2 = mk(ctx, INF2, 0, 0)?;
+        let s = mk(ctx, INF1, inf0, inf1)?;
+        let r = mk(ctx, INF2, s, inf2)?;
+        ctx.flusher.fence();
+        pool.set_root(root_idx, r as u64, &mut ctx.flusher);
+        ctx.end_op();
+        Ok(Self { pool, root: r })
+    }
+
+    /// Re-attaches after a crash (replay the log directory first).
+    pub fn attach(domain: &NvDomain, root_idx: usize) -> Self {
+        let pool = Arc::clone(domain.pool());
+        let root = pool.root(root_idx) as usize;
+        Self { pool, root }
+    }
+
+    #[inline]
+    fn key_at(&self, n: usize) -> u64 {
+        self.pool.atomic_u64(n + KEY_OFF).load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn child_off(&self, n: usize, key: u64) -> usize {
+        if key < self.key_at(n) {
+            LEFT_OFF
+        } else {
+            RIGHT_OFF
+        }
+    }
+
+    #[inline]
+    fn child(&self, n: usize, off: usize) -> usize {
+        self.pool.atomic_u64(n + off).load(Ordering::Acquire) as usize
+    }
+
+    #[inline]
+    fn is_leaf(&self, n: usize) -> bool {
+        self.child(n, LEFT_OFF) == 0 && self.child(n, RIGHT_OFF) == 0
+    }
+
+    #[inline]
+    fn removed(&self, n: usize) -> bool {
+        self.pool.atomic_u64(n + REMOVED_OFF).load(Ordering::Acquire) != 0
+    }
+
+    fn lock(&self, n: usize) {
+        let w = self.pool.atomic_u64(n + LOCK_OFF);
+        loop {
+            if w.compare_exchange_weak(0, 1, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                return;
+            }
+            while w.load(Ordering::Relaxed) != 0 {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn unlock(&self, n: usize) {
+        self.pool.atomic_u64(n + LOCK_OFF).store(0, Ordering::Release);
+    }
+
+    /// Wait-free search: returns `(grandparent, parent, leaf)`.
+    fn search(&self, key: u64) -> (usize, usize, usize) {
+        let mut gp = self.root;
+        let mut p = self.child(self.root, LEFT_OFF);
+        let mut leaf = self.child(p, self.child_off(p, key));
+        while !self.is_leaf(leaf) {
+            gp = p;
+            p = leaf;
+            leaf = self.child(leaf, self.child_off(leaf, key));
+        }
+        (gp, p, leaf)
+    }
+
+    /// Inserts `key -> value`; `Ok(false)` if present.
+    pub fn insert(
+        &self,
+        ctx: &mut ThreadCtx,
+        log: &mut RedoLog,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, OutOfMemory> {
+        debug_assert!(key <= MAX_BST_KEY);
+        ctx.begin_op();
+        let r = self.insert_inner(ctx, log, key, value);
+        ctx.end_op();
+        r
+    }
+
+    fn insert_inner(
+        &self,
+        ctx: &mut ThreadCtx,
+        log: &mut RedoLog,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, OutOfMemory> {
+        let pool = &self.pool;
+        loop {
+            let (_gp, p, leaf) = self.search(key);
+            let leaf_key = self.key_at(leaf);
+            if leaf_key == key {
+                return Ok(false);
+            }
+            let edge_off = self.child_off(p, key);
+            self.lock(p);
+            if self.removed(p) || self.child(p, edge_off) != leaf {
+                self.unlock(p);
+                continue;
+            }
+            let new_leaf = ctx.alloc(NODE_SIZE)?;
+            pool.atomic_u64(new_leaf + KEY_OFF).store(key, Ordering::Relaxed);
+            pool.atomic_u64(new_leaf + VAL_OFF).store(value, Ordering::Relaxed);
+            pool.atomic_u64(new_leaf + LEFT_OFF).store(0, Ordering::Relaxed);
+            pool.atomic_u64(new_leaf + RIGHT_OFF).store(0, Ordering::Relaxed);
+            pool.atomic_u64(new_leaf + LOCK_OFF).store(0, Ordering::Relaxed);
+            pool.atomic_u64(new_leaf + REMOVED_OFF).store(0, Ordering::Release);
+            let (l, r) = if key < leaf_key { (new_leaf, leaf) } else { (leaf, new_leaf) };
+            let internal = ctx.alloc(NODE_SIZE)?;
+            pool.atomic_u64(internal + KEY_OFF).store(key.max(leaf_key), Ordering::Relaxed);
+            pool.atomic_u64(internal + VAL_OFF).store(0, Ordering::Relaxed);
+            pool.atomic_u64(internal + LEFT_OFF).store(l as u64, Ordering::Relaxed);
+            pool.atomic_u64(internal + RIGHT_OFF).store(r as u64, Ordering::Relaxed);
+            pool.atomic_u64(internal + LOCK_OFF).store(0, Ordering::Relaxed);
+            pool.atomic_u64(internal + REMOVED_OFF).store(0, Ordering::Release);
+            ctx.flusher.clwb_range(new_leaf, NODE_SIZE);
+            ctx.flusher.clwb_range(internal, NODE_SIZE);
+            log.record(p + edge_off, internal as u64, &mut ctx.flusher);
+            log.commit_apply(&mut ctx.flusher);
+            self.unlock(p);
+            return Ok(true);
+        }
+    }
+
+    /// Removes `key`.
+    pub fn remove(&self, ctx: &mut ThreadCtx, log: &mut RedoLog, key: u64) -> Option<u64> {
+        ctx.begin_op();
+        let r = self.remove_inner(ctx, log, key);
+        ctx.end_op();
+        r
+    }
+
+    fn remove_inner(&self, ctx: &mut ThreadCtx, log: &mut RedoLog, key: u64) -> Option<u64> {
+        loop {
+            let (gp, p, leaf) = self.search(key);
+            if self.key_at(leaf) != key {
+                return None;
+            }
+            let gp_off = self.child_off(gp, key);
+            let p_off = self.child_off(p, key);
+            self.lock(gp);
+            self.lock(p);
+            let valid = !self.removed(gp)
+                && !self.removed(p)
+                && self.child(gp, gp_off) == p
+                && self.child(p, p_off) == leaf;
+            if !valid {
+                self.unlock(p);
+                self.unlock(gp);
+                continue;
+            }
+            let sibling_off = if p_off == LEFT_OFF { RIGHT_OFF } else { LEFT_OFF };
+            let sibling = self.child(p, sibling_off);
+            let val = self.pool.atomic_u64(leaf + VAL_OFF).load(Ordering::Acquire);
+            // One transaction: splice + tombstones for validation.
+            log.record(gp + gp_off, sibling as u64, &mut ctx.flusher);
+            log.record(p + REMOVED_OFF, 1, &mut ctx.flusher);
+            log.record(leaf + REMOVED_OFF, 1, &mut ctx.flusher);
+            log.commit_apply(&mut ctx.flusher);
+            self.unlock(p);
+            self.unlock(gp);
+            ctx.retire(p);
+            ctx.retire(leaf);
+            return Some(val);
+        }
+    }
+
+    /// Wait-free lookup.
+    pub fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        ctx.begin_op();
+        let (_gp, _p, leaf) = self.search(key);
+        let r = (self.key_at(leaf) == key)
+            .then(|| self.pool.atomic_u64(leaf + VAL_OFF).load(Ordering::Acquire));
+        ctx.end_op();
+        r
+    }
+
+    /// Quiescent post-crash fixup (after log replay): clear stale locks.
+    pub fn recover(&self, flusher: &mut Flusher) {
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            self.pool.atomic_u64(n + LOCK_OFF).store(0, Ordering::Release);
+            flusher.clwb(n + LOCK_OFF);
+            for off in [LEFT_OFF, RIGHT_OFF] {
+                let c = self.child(n, off);
+                if c != 0 {
+                    stack.push(c);
+                }
+            }
+        }
+        flusher.fence();
+    }
+
+    /// Reachability set (internal nodes, leaves, sentinels).
+    pub fn collect_reachable(&self) -> HashSet<usize> {
+        let mut s = HashSet::new();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            if !s.insert(n) {
+                continue;
+            }
+            for off in [LEFT_OFF, RIGHT_OFF] {
+                let c = self.child(n, off);
+                if c != 0 {
+                    stack.push(c);
+                }
+            }
+        }
+        s
+    }
+
+    /// Quiescent snapshot of live user pairs in key order.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut v = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            if self.is_leaf(n) {
+                let k = self.key_at(n);
+                if k <= MAX_BST_KEY {
+                    v.push((k, self.pool.atomic_u64(n + VAL_OFF).load(Ordering::Acquire)));
+                }
+                continue;
+            }
+            for off in [LEFT_OFF, RIGHT_OFF] {
+                let c = self.child(n, off);
+                if c != 0 {
+                    stack.push(c);
+                }
+            }
+        }
+        v.sort_unstable();
+        v
+    }
+}
+
+// SAFETY: all shared state lives in the pool, accessed atomically.
+unsafe impl Send for BstTk {}
+// SAFETY: see above.
+unsafe impl Sync for BstTk {}

@@ -1,0 +1,350 @@
+//! Lock-based **lazy linked list** (Heller et al., OPODIS 2005) with
+//! hand-placed redo logging — the paper's baseline for the linked list
+//! and (one list per bucket) the hash table (§6.2).
+//!
+//! Traversals are lock-free; updates lock the predecessor and current
+//! node, validate, then run a two-sync redo-logged transaction
+//! ([`crate::redo`]). A removal logically deletes (`marked := 1`) and
+//! physically unlinks in the *same* transaction, which keeps replay
+//! atomic.
+//!
+//! # Node layout (one 64-byte slot)
+//!
+//! ```text
+//! +0   key     u64
+//! +8   value   u64
+//! +16  next    u64   (plain address; no mark bits needed)
+//! +24  marked  u64   (logical deletion flag, logged)
+//! +32  lock    u64   (spinlock; volatile — cleared by recovery)
+//! ```
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use nvalloc::{NvDomain, OutOfMemory, ThreadCtx};
+use pmem::{Flusher, PmemPool};
+
+use crate::redo::RedoLog;
+
+pub(crate) const KEY_OFF: usize = 0;
+pub(crate) const VAL_OFF: usize = 8;
+pub(crate) const NEXT_OFF: usize = 16;
+pub(crate) const MARK_OFF: usize = 24;
+pub(crate) const LOCK_OFF: usize = 32;
+pub(crate) const NODE_SIZE: usize = 40;
+
+/// Smallest user key (0 is the head sentinel).
+pub const MIN_KEY: u64 = 1;
+/// Largest user key (`u64::MAX` is the tail sentinel).
+pub const MAX_KEY: u64 = u64::MAX - 1;
+
+#[inline]
+pub(crate) fn key_at(pool: &PmemPool, n: usize) -> u64 {
+    pool.atomic_u64(n + KEY_OFF).load(Ordering::Acquire)
+}
+
+#[inline]
+pub(crate) fn next_of(pool: &PmemPool, n: usize) -> usize {
+    pool.atomic_u64(n + NEXT_OFF).load(Ordering::Acquire) as usize
+}
+
+#[inline]
+pub(crate) fn is_marked(pool: &PmemPool, n: usize) -> bool {
+    pool.atomic_u64(n + MARK_OFF).load(Ordering::Acquire) != 0
+}
+
+#[inline]
+pub(crate) fn lock(pool: &PmemPool, n: usize) {
+    let w = pool.atomic_u64(n + LOCK_OFF);
+    loop {
+        if w.compare_exchange_weak(0, 1, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+            return;
+        }
+        while w.load(Ordering::Relaxed) != 0 {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn unlock(pool: &PmemPool, n: usize) {
+    pool.atomic_u64(n + LOCK_OFF).store(0, Ordering::Release);
+}
+
+/// Allocates and initialises a sentinel node; returns its address.
+pub(crate) fn make_sentinel(
+    ctx: &mut ThreadCtx,
+    pool: &PmemPool,
+    key: u64,
+    next: usize,
+) -> Result<usize, OutOfMemory> {
+    let n = ctx.alloc(NODE_SIZE)?;
+    pool.atomic_u64(n + KEY_OFF).store(key, Ordering::Relaxed);
+    pool.atomic_u64(n + VAL_OFF).store(0, Ordering::Relaxed);
+    pool.atomic_u64(n + NEXT_OFF).store(next as u64, Ordering::Relaxed);
+    pool.atomic_u64(n + MARK_OFF).store(0, Ordering::Relaxed);
+    pool.atomic_u64(n + LOCK_OFF).store(0, Ordering::Release);
+    ctx.flusher.clwb_range(n, NODE_SIZE);
+    Ok(n)
+}
+
+/// Lock-free traversal from `head`: returns `(pred, curr)` with
+/// `curr.key >= key` (curr may be the tail sentinel).
+#[inline]
+fn traverse(pool: &PmemPool, head: usize, key: u64) -> (usize, usize) {
+    let mut pred = head;
+    let mut curr = next_of(pool, pred);
+    while key_at(pool, curr) < key {
+        pred = curr;
+        curr = next_of(pool, curr);
+    }
+    (pred, curr)
+}
+
+fn validate(pool: &PmemPool, pred: usize, curr: usize) -> bool {
+    !is_marked(pool, pred) && !is_marked(pool, curr) && next_of(pool, pred) == curr
+}
+
+/// Core insert into the chain anchored at sentinel `head`.
+pub(crate) fn insert(
+    pool: &PmemPool,
+    ctx: &mut ThreadCtx,
+    log: &mut RedoLog,
+    head: usize,
+    key: u64,
+    value: u64,
+) -> Result<bool, OutOfMemory> {
+    debug_assert!((MIN_KEY..=MAX_KEY).contains(&key));
+    loop {
+        let (pred, curr) = traverse(pool, head, key);
+        lock(pool, pred);
+        lock(pool, curr);
+        if validate(pool, pred, curr) {
+            if key_at(pool, curr) == key {
+                unlock(pool, curr);
+                unlock(pool, pred);
+                return Ok(false);
+            }
+            let node = ctx.alloc(NODE_SIZE)?;
+            pool.atomic_u64(node + KEY_OFF).store(key, Ordering::Relaxed);
+            pool.atomic_u64(node + VAL_OFF).store(value, Ordering::Relaxed);
+            pool.atomic_u64(node + NEXT_OFF).store(curr as u64, Ordering::Relaxed);
+            pool.atomic_u64(node + MARK_OFF).store(0, Ordering::Relaxed);
+            pool.atomic_u64(node + LOCK_OFF).store(0, Ordering::Release);
+            ctx.flusher.clwb_range(node, NODE_SIZE);
+            // The commit's first sync covers the node contents (same
+            // batch); the transaction is the single link write.
+            log.record(pred + NEXT_OFF, node as u64, &mut ctx.flusher);
+            log.commit_apply(&mut ctx.flusher);
+            unlock(pool, curr);
+            unlock(pool, pred);
+            return Ok(true);
+        }
+        unlock(pool, curr);
+        unlock(pool, pred);
+    }
+}
+
+/// Core remove from the chain anchored at `head`.
+pub(crate) fn remove(
+    pool: &PmemPool,
+    ctx: &mut ThreadCtx,
+    log: &mut RedoLog,
+    head: usize,
+    key: u64,
+) -> Option<u64> {
+    loop {
+        let (pred, curr) = traverse(pool, head, key);
+        lock(pool, pred);
+        lock(pool, curr);
+        if validate(pool, pred, curr) {
+            if key_at(pool, curr) != key {
+                unlock(pool, curr);
+                unlock(pool, pred);
+                return None;
+            }
+            let val = pool.atomic_u64(curr + VAL_OFF).load(Ordering::Acquire);
+            // Logical delete + physical unlink, atomically replayable.
+            log.record(curr + MARK_OFF, 1, &mut ctx.flusher);
+            log.record(pred + NEXT_OFF, next_of(pool, curr) as u64, &mut ctx.flusher);
+            log.commit_apply(&mut ctx.flusher);
+            unlock(pool, curr);
+            unlock(pool, pred);
+            ctx.retire(curr);
+            return Some(val);
+        }
+        unlock(pool, curr);
+        unlock(pool, pred);
+    }
+}
+
+/// Core wait-free lookup.
+pub(crate) fn get(pool: &PmemPool, head: usize, key: u64) -> Option<u64> {
+    let mut curr = next_of(pool, head);
+    while key_at(pool, curr) < key {
+        curr = next_of(pool, curr);
+    }
+    (key_at(pool, curr) == key && !is_marked(pool, curr))
+        .then(|| pool.atomic_u64(curr + VAL_OFF).load(Ordering::Acquire))
+}
+
+/// Quiescent recovery of one chain: clears stale lock words (the redo
+/// replay has already restored logical consistency).
+pub(crate) fn recover_chain(pool: &PmemPool, head: usize, flusher: &mut Flusher) {
+    let mut n = head;
+    loop {
+        pool.atomic_u64(n + LOCK_OFF).store(0, Ordering::Release);
+        flusher.clwb(n + LOCK_OFF);
+        n = next_of(pool, n);
+        if n == 0 {
+            break;
+        }
+        if key_at(pool, n) == u64::MAX {
+            pool.atomic_u64(n + LOCK_OFF).store(0, Ordering::Release);
+            flusher.clwb(n + LOCK_OFF);
+            break;
+        }
+    }
+}
+
+/// Reachable live nodes of one chain, including sentinels.
+pub(crate) fn reachable_chain(pool: &PmemPool, head: usize, out: &mut HashSet<usize>) {
+    let mut n = head;
+    loop {
+        if !is_marked(pool, n) {
+            out.insert(n);
+        }
+        if key_at(pool, n) == u64::MAX {
+            break;
+        }
+        n = next_of(pool, n);
+    }
+}
+
+/// Snapshot of live user pairs of one chain.
+pub(crate) fn snapshot_chain(pool: &PmemPool, head: usize, out: &mut Vec<(u64, u64)>) {
+    let mut n = next_of(pool, head);
+    while key_at(pool, n) != u64::MAX {
+        if !is_marked(pool, n) {
+            out.push((key_at(pool, n), pool.atomic_u64(n + VAL_OFF).load(Ordering::Acquire)));
+        }
+        n = next_of(pool, n);
+    }
+}
+
+/// The standalone log-based lazy list.
+pub struct LazyList {
+    pool: Arc<PmemPool>,
+    head: usize,
+}
+
+impl LazyList {
+    /// Creates an empty list (head + tail sentinels) anchored at root
+    /// slot `root_idx`.
+    pub fn create(
+        domain: &NvDomain,
+        ctx: &mut ThreadCtx,
+        root_idx: usize,
+    ) -> Result<Self, OutOfMemory> {
+        let pool = Arc::clone(domain.pool());
+        ctx.begin_op();
+        let tail = make_sentinel(ctx, &pool, u64::MAX, 0)?;
+        let head = make_sentinel(ctx, &pool, 0, tail)?;
+        ctx.flusher.fence();
+        pool.set_root(root_idx, head as u64, &mut ctx.flusher);
+        ctx.end_op();
+        Ok(Self { pool, head })
+    }
+
+    /// Re-attaches after a crash (replay the log directory first).
+    pub fn attach(domain: &NvDomain, root_idx: usize) -> Self {
+        let pool = Arc::clone(domain.pool());
+        let head = pool.root(root_idx) as usize;
+        Self { pool, head }
+    }
+
+    /// Inserts `key -> value`; `Ok(false)` if present.
+    pub fn insert(
+        &self,
+        ctx: &mut ThreadCtx,
+        log: &mut RedoLog,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, OutOfMemory> {
+        ctx.begin_op();
+        let r = insert(&self.pool, ctx, log, self.head, key, value);
+        ctx.end_op();
+        r
+    }
+
+    /// Removes `key`.
+    pub fn remove(&self, ctx: &mut ThreadCtx, log: &mut RedoLog, key: u64) -> Option<u64> {
+        ctx.begin_op();
+        let r = remove(&self.pool, ctx, log, self.head, key);
+        ctx.end_op();
+        r
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        ctx.begin_op();
+        let r = get(&self.pool, self.head, key);
+        ctx.end_op();
+        r
+    }
+
+    /// Quiescent post-crash fixup (after log replay): clear stale locks.
+    pub fn recover(&self, flusher: &mut Flusher) {
+        recover_chain(&self.pool, self.head, flusher);
+        flusher.fence();
+    }
+
+    /// Reachability set for leak recovery.
+    pub fn collect_reachable(&self) -> HashSet<usize> {
+        let mut s = HashSet::new();
+        reachable_chain(&self.pool, self.head, &mut s);
+        s
+    }
+
+    /// Quiescent snapshot of live pairs in key order.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut v = Vec::new();
+        snapshot_chain(&self.pool, self.head, &mut v);
+        v
+    }
+
+    /// Quiescent bulk load of sorted pairs into an empty list (bench
+    /// prefill).
+    pub fn bulk_load_sorted(
+        &self,
+        ctx: &mut ThreadCtx,
+        items: &[(u64, u64)],
+    ) -> Result<(), OutOfMemory> {
+        let pool = &self.pool;
+        let tail = next_of(pool, self.head);
+        debug_assert_eq!(key_at(pool, tail), u64::MAX, "bulk load requires empty list");
+        ctx.begin_op();
+        let mut prev = self.head;
+        for &(key, value) in items {
+            let node = ctx.alloc(NODE_SIZE)?;
+            pool.atomic_u64(node + KEY_OFF).store(key, Ordering::Relaxed);
+            pool.atomic_u64(node + VAL_OFF).store(value, Ordering::Relaxed);
+            pool.atomic_u64(node + NEXT_OFF).store(tail as u64, Ordering::Relaxed);
+            pool.atomic_u64(node + MARK_OFF).store(0, Ordering::Relaxed);
+            pool.atomic_u64(node + LOCK_OFF).store(0, Ordering::Release);
+            pool.atomic_u64(prev + NEXT_OFF).store(node as u64, Ordering::Release);
+            ctx.flusher.clwb_range(node, NODE_SIZE);
+            ctx.flusher.clwb(prev + NEXT_OFF);
+            prev = node;
+        }
+        ctx.flusher.fence();
+        ctx.end_op();
+        Ok(())
+    }
+}
+
+// SAFETY: all shared state lives in the pool, accessed atomically.
+unsafe impl Send for LazyList {}
+// SAFETY: see above.
+unsafe impl Sync for LazyList {}

@@ -1,0 +1,417 @@
+//! Lock-based **optimistic skip list** (Herlihy, Lev, Luchangco, Shavit —
+//! SIROCCO 2007) with redo logging — the paper's skip-list baseline.
+//!
+//! As the paper notes (§6.2), a log-based skip-list update holds a
+//! logarithmic number of locks while logging a logarithmic number of link
+//! writes, which is why Figure 5 shows the largest gains for this
+//! structure.
+//!
+//! # Node layout
+//!
+//! ```text
+//! +0   key         u64
+//! +8   value       u64
+//! +16  height      u64
+//! +24  flags       u64   bit0 = marked, bit1 = fully linked (logged)
+//! +32  lock        u64   (volatile spinlock)
+//! +40  tower       height × u64
+//! ```
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use nvalloc::{NvDomain, OutOfMemory, ThreadCtx};
+use pmem::{Flusher, PmemPool};
+
+use crate::redo::RedoLog;
+
+/// Maximum tower height (fits the 256-byte slab class).
+pub const MAX_HEIGHT: usize = 24;
+
+const KEY_OFF: usize = 0;
+const VAL_OFF: usize = 8;
+const HEIGHT_OFF: usize = 16;
+const FLAGS_OFF: usize = 24;
+const LOCK_OFF: usize = 32;
+const TOWER_OFF: usize = 40;
+
+const MARKED: u64 = 1;
+const FULLY_LINKED: u64 = 2;
+
+#[inline]
+fn node_size(height: usize) -> usize {
+    TOWER_OFF + 8 * height
+}
+
+#[inline]
+fn tower(n: usize, level: usize) -> usize {
+    n + TOWER_OFF + 8 * level
+}
+
+use std::cell::Cell;
+thread_local! {
+    static HEIGHT_RNG: Cell<u64> = const { Cell::new(0xDEAD_BEEF_1234_5678) };
+}
+
+fn random_height() -> usize {
+    HEIGHT_RNG.with(|c| {
+        let mut x = c.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c.set(x);
+        ((x.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+    })
+}
+
+/// The log-based lock-based skip list.
+pub struct LockSkipList {
+    pool: Arc<PmemPool>,
+    head: usize,
+    tail: usize,
+}
+
+impl LockSkipList {
+    /// Creates an empty skip list anchored at root slot `root_idx`.
+    pub fn create(
+        domain: &NvDomain,
+        ctx: &mut ThreadCtx,
+        root_idx: usize,
+    ) -> Result<Self, OutOfMemory> {
+        let pool = Arc::clone(domain.pool());
+        ctx.begin_op();
+        let mk = |ctx: &mut ThreadCtx, key: u64| -> Result<usize, OutOfMemory> {
+            let n = ctx.alloc(node_size(MAX_HEIGHT))?;
+            for off in (0..node_size(MAX_HEIGHT)).step_by(8) {
+                pool.atomic_u64(n + off).store(0, Ordering::Relaxed);
+            }
+            pool.atomic_u64(n + KEY_OFF).store(key, Ordering::Relaxed);
+            pool.atomic_u64(n + HEIGHT_OFF).store(MAX_HEIGHT as u64, Ordering::Relaxed);
+            pool.atomic_u64(n + FLAGS_OFF).store(FULLY_LINKED, Ordering::Release);
+            ctx.flusher.clwb_range(n, node_size(MAX_HEIGHT));
+            Ok(n)
+        };
+        let tail = mk(ctx, u64::MAX)?;
+        let head = mk(ctx, 0)?;
+        for level in 0..MAX_HEIGHT {
+            pool.atomic_u64(tower(head, level)).store(tail as u64, Ordering::Release);
+        }
+        ctx.flusher.clwb_range(head, node_size(MAX_HEIGHT));
+        ctx.flusher.fence();
+        pool.set_root(root_idx, head as u64, &mut ctx.flusher);
+        pool.set_root(root_idx + 1, tail as u64, &mut ctx.flusher);
+        ctx.end_op();
+        Ok(Self { pool, head, tail })
+    }
+
+    /// Re-attaches after a crash (replay the log directory first). Uses
+    /// root slots `root_idx` and `root_idx + 1`.
+    pub fn attach(domain: &NvDomain, root_idx: usize) -> Self {
+        let pool = Arc::clone(domain.pool());
+        let head = pool.root(root_idx) as usize;
+        let tail = pool.root(root_idx + 1) as usize;
+        Self { pool, head, tail }
+    }
+
+    #[inline]
+    fn key_at(&self, n: usize) -> u64 {
+        self.pool.atomic_u64(n + KEY_OFF).load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn flags(&self, n: usize) -> u64 {
+        self.pool.atomic_u64(n + FLAGS_OFF).load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn height_at(&self, n: usize) -> usize {
+        self.pool.atomic_u64(n + HEIGHT_OFF).load(Ordering::Acquire) as usize
+    }
+
+    #[inline]
+    fn next_at(&self, n: usize, level: usize) -> usize {
+        self.pool.atomic_u64(tower(n, level)).load(Ordering::Acquire) as usize
+    }
+
+    fn lock(&self, n: usize) {
+        let w = self.pool.atomic_u64(n + LOCK_OFF);
+        loop {
+            if w.compare_exchange_weak(0, 1, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                return;
+            }
+            while w.load(Ordering::Relaxed) != 0 {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn unlock(&self, n: usize) {
+        self.pool.atomic_u64(n + LOCK_OFF).store(0, Ordering::Release);
+    }
+
+    /// Optimistic find: fills `preds`/`succs`, returns the highest level
+    /// at which the key was found (or `None`).
+    fn find(
+        &self,
+        key: u64,
+        preds: &mut [usize; MAX_HEIGHT],
+        succs: &mut [usize; MAX_HEIGHT],
+    ) -> Option<usize> {
+        let mut found = None;
+        let mut pred = self.head;
+        for level in (0..MAX_HEIGHT).rev() {
+            let mut curr = self.next_at(pred, level);
+            while self.key_at(curr) < key {
+                pred = curr;
+                curr = self.next_at(pred, level);
+            }
+            if found.is_none() && self.key_at(curr) == key {
+                found = Some(level);
+            }
+            preds[level] = pred;
+            succs[level] = curr;
+        }
+        found
+    }
+
+    /// Inserts `key -> value`; `Ok(false)` if present.
+    pub fn insert(
+        &self,
+        ctx: &mut ThreadCtx,
+        log: &mut RedoLog,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, OutOfMemory> {
+        debug_assert!(key > 0 && key < u64::MAX);
+        ctx.begin_op();
+        let r = self.insert_inner(ctx, log, key, value);
+        ctx.end_op();
+        r
+    }
+
+    fn insert_inner(
+        &self,
+        ctx: &mut ThreadCtx,
+        log: &mut RedoLog,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, OutOfMemory> {
+        let top = random_height();
+        let mut preds = [0usize; MAX_HEIGHT];
+        let mut succs = [0usize; MAX_HEIGHT];
+        loop {
+            if let Some(_lvl) = self.find(key, &mut preds, &mut succs) {
+                let node = succs[0];
+                if self.flags(node) & MARKED == 0 {
+                    // Wait until the in-flight insert finishes linking.
+                    while self.flags(node) & FULLY_LINKED == 0 {
+                        std::hint::spin_loop();
+                    }
+                    return Ok(false);
+                }
+                continue; // marked: about to disappear, retry
+            }
+            // Lock predecessors bottom-up, skipping duplicates.
+            let mut locked: Vec<usize> = Vec::with_capacity(top);
+            let mut valid = true;
+            for level in 0..top {
+                let pred = preds[level];
+                if locked.last() != Some(&pred) && !locked.contains(&pred) {
+                    self.lock(pred);
+                    locked.push(pred);
+                }
+                let succ = succs[level];
+                valid = self.flags(pred) & MARKED == 0
+                    && self.flags(succ) & MARKED == 0
+                    && self.next_at(pred, level) == succ;
+                if !valid {
+                    break;
+                }
+            }
+            if !valid {
+                for &n in locked.iter().rev() {
+                    self.unlock(n);
+                }
+                continue;
+            }
+            let node = ctx.alloc(node_size(top))?;
+            let pool = &self.pool;
+            pool.atomic_u64(node + KEY_OFF).store(key, Ordering::Relaxed);
+            pool.atomic_u64(node + VAL_OFF).store(value, Ordering::Relaxed);
+            pool.atomic_u64(node + HEIGHT_OFF).store(top as u64, Ordering::Relaxed);
+            pool.atomic_u64(node + FLAGS_OFF).store(0, Ordering::Relaxed);
+            pool.atomic_u64(node + LOCK_OFF).store(0, Ordering::Relaxed);
+            for level in 0..top {
+                pool.atomic_u64(tower(node, level)).store(succs[level] as u64, Ordering::Release);
+            }
+            ctx.flusher.clwb_range(node, node_size(top));
+            // One transaction: a logarithmic number of link writes plus
+            // the fully-linked flag (§6.2).
+            for level in 0..top {
+                log.record(tower(preds[level], level), node as u64, &mut ctx.flusher);
+            }
+            log.record(node + FLAGS_OFF, FULLY_LINKED, &mut ctx.flusher);
+            log.commit_apply(&mut ctx.flusher);
+            for &n in locked.iter().rev() {
+                self.unlock(n);
+            }
+            return Ok(true);
+        }
+    }
+
+    /// Removes `key`.
+    pub fn remove(&self, ctx: &mut ThreadCtx, log: &mut RedoLog, key: u64) -> Option<u64> {
+        ctx.begin_op();
+        let r = self.remove_inner(ctx, log, key);
+        ctx.end_op();
+        r
+    }
+
+    fn remove_inner(&self, ctx: &mut ThreadCtx, log: &mut RedoLog, key: u64) -> Option<u64> {
+        let mut preds = [0usize; MAX_HEIGHT];
+        let mut succs = [0usize; MAX_HEIGHT];
+        let mut victim_locked = 0usize;
+        loop {
+            let lfound = self.find(key, &mut preds, &mut succs);
+            let victim = match lfound {
+                Some(l) => succs[l],
+                None => {
+                    if victim_locked != 0 {
+                        self.unlock(victim_locked);
+                    }
+                    return None;
+                }
+            };
+            if victim_locked == 0 {
+                let f = self.flags(victim);
+                let top = self.height_at(victim);
+                if f & FULLY_LINKED == 0 || f & MARKED != 0 || lfound != Some(top - 1) {
+                    return None;
+                }
+                self.lock(victim);
+                if self.flags(victim) & MARKED != 0 {
+                    self.unlock(victim);
+                    return None;
+                }
+                victim_locked = victim;
+            } else if victim != victim_locked {
+                // Should not happen while we hold the victim's lock and
+                // it is unmarked; retry defensively.
+                continue;
+            }
+            let top = self.height_at(victim);
+            // Lock predecessors and validate.
+            let mut locked: Vec<usize> = Vec::with_capacity(top);
+            let mut valid = true;
+            for level in 0..top {
+                let pred = preds[level];
+                if pred != victim_locked && !locked.contains(&pred) {
+                    self.lock(pred);
+                    locked.push(pred);
+                }
+                valid = self.flags(pred) & MARKED == 0 && self.next_at(pred, level) == victim;
+                if !valid {
+                    break;
+                }
+            }
+            if !valid {
+                for &n in locked.iter().rev() {
+                    self.unlock(n);
+                }
+                continue;
+            }
+            let val = self.pool.atomic_u64(victim + VAL_OFF).load(Ordering::Acquire);
+            // One transaction: mark + all unlinks.
+            log.record(victim + FLAGS_OFF, MARKED | FULLY_LINKED, &mut ctx.flusher);
+            for level in 0..top {
+                log.record(tower(preds[level], level), self.next_at(victim, level) as u64, &mut ctx.flusher);
+            }
+            log.commit_apply(&mut ctx.flusher);
+            for &n in locked.iter().rev() {
+                self.unlock(n);
+            }
+            self.unlock(victim);
+            ctx.retire(victim);
+            return Some(val);
+        }
+    }
+
+    /// Wait-free lookup.
+    pub fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        ctx.begin_op();
+        let mut pred = self.head;
+        let mut level = MAX_HEIGHT - 1;
+        let r = loop {
+            let curr = self.next_at(pred, level);
+            if self.key_at(curr) < key {
+                pred = curr;
+                continue;
+            }
+            if level > 0 {
+                level -= 1;
+                continue;
+            }
+            let f = self.flags(curr);
+            break (self.key_at(curr) == key && f & FULLY_LINKED != 0 && f & MARKED == 0)
+                .then(|| self.pool.atomic_u64(curr + VAL_OFF).load(Ordering::Acquire));
+        };
+        ctx.end_op();
+        r
+    }
+
+    /// Quiescent post-crash fixup (after log replay): clear stale locks
+    /// along the bottom level.
+    pub fn recover(&self, flusher: &mut Flusher) {
+        let mut n = self.head;
+        loop {
+            self.pool.atomic_u64(n + LOCK_OFF).store(0, Ordering::Release);
+            flusher.clwb(n + LOCK_OFF);
+            if n == self.tail {
+                break;
+            }
+            n = self.next_at(n, 0);
+            if n == 0 {
+                break;
+            }
+        }
+        flusher.fence();
+    }
+
+    /// Reachability set (sentinels included).
+    pub fn collect_reachable(&self) -> HashSet<usize> {
+        let mut s = HashSet::new();
+        let mut n = self.head;
+        loop {
+            if self.flags(n) & MARKED == 0 {
+                s.insert(n);
+            }
+            if n == self.tail {
+                break;
+            }
+            n = self.next_at(n, 0);
+            if n == 0 {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Quiescent snapshot of live user pairs in key order.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut v = Vec::new();
+        let mut n = self.next_at(self.head, 0);
+        while n != 0 && n != self.tail {
+            if self.flags(n) & MARKED == 0 {
+                v.push((self.key_at(n), self.pool.atomic_u64(n + VAL_OFF).load(Ordering::Acquire)));
+            }
+            n = self.next_at(n, 0);
+        }
+        v
+    }
+}
+
+// SAFETY: all shared state lives in the pool, accessed atomically.
+unsafe impl Send for LockSkipList {}
+// SAFETY: see above.
+unsafe impl Sync for LockSkipList {}

@@ -1,0 +1,321 @@
+//! Per-thread redo logging — the durability mechanism of the paper's
+//! baseline implementations (§6.2).
+//!
+//! The paper compares its log-free structures against lock-based
+//! algorithms with **hand-placed redo logging**, tuned to minimise syncs
+//! (a generic transactional framework would be slower). This module
+//! implements that baseline faithfully:
+//!
+//! 1. The critical section durably appends each store to the log as it
+//!    is staged ([`RedoLog::record`]) — one waiting sync per logged
+//!    store, the defining cost of log-based approaches (§1: "this
+//!    entails waiting for stores to be written to NVRAM before
+//!    proceeding").
+//! 2. [`RedoLog::commit_apply`] makes the commit record — count +
+//!    checksum — durable (it must not reach NVRAM before the entries it
+//!    covers).
+//! 3. The stores are applied to the structure, written back, and one
+//!    more fence makes them durable.
+//! 4. The log is truncated lazily (no fence: replaying a committed redo
+//!    log is idempotent).
+//!
+//! So a transaction with `n` logged stores pays `n + 2` syncs, versus
+//! the log-free structures' one per link update (insert: pre-link fence
+//! + link persist; amortised below one with the link cache) — exactly
+//! the cost gap Figures 5–8 measure, and why the gap grows with the
+//! number of logged stores (the skip list logs one per tower level).
+//!
+//! After a crash, [`LogDirectory::replay_all`] re-applies every
+//! still-committed log before structure recovery runs.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use nvalloc::{NvDomain, OutOfMemory};
+use pmem::{Flusher, PmemPool};
+
+/// Maximum `(addr, value)` entries per transaction. The skip list logs
+/// up to `2 * MAX_HEIGHT` link writes; 64 leaves ample room.
+pub const MAX_ENTRIES: usize = 64;
+
+const COUNT_OFF: usize = 0;
+const CHECKSUM_OFF: usize = 8;
+const ENTRIES_OFF: usize = 16;
+/// Bytes of one thread's log area, padded to whole cache lines so
+/// adjacent threads' logs never share a line.
+pub const LOG_BYTES: usize = (ENTRIES_OFF + MAX_ENTRIES * 16 + 63) & !63;
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(29)
+}
+
+/// A per-thread redo log over a durable log area.
+pub struct RedoLog {
+    pool: Arc<PmemPool>,
+    /// Durable log area (entries + count + checksum).
+    area: usize,
+    /// Volatile staging buffer.
+    staged: Vec<(usize, u64)>,
+}
+
+impl RedoLog {
+    fn new(pool: Arc<PmemPool>, area: usize) -> Self {
+        Self { pool, area, staged: Vec::with_capacity(MAX_ENTRIES) }
+    }
+
+    /// Stages a durable store of `value` at `addr` for the current
+    /// transaction, durably appending it to the log **and waiting** — the
+    /// paper's characterisation of log-based approaches ("this entails
+    /// waiting for stores to be written to NVRAM before proceeding",
+    /// §1). One sync per logged store; this is what makes the skip-list
+    /// baseline (which logs one store per tower level) so expensive
+    /// (§6.2).
+    #[inline]
+    pub fn record(&mut self, addr: usize, value: u64, flusher: &mut Flusher) {
+        debug_assert!(self.staged.len() < MAX_ENTRIES, "transaction too large");
+        let e = self.area + ENTRIES_OFF + self.staged.len() * 16;
+        self.pool.atomic_u64(e).store(addr as u64, Ordering::Relaxed);
+        self.pool.atomic_u64(e + 8).store(value, Ordering::Release);
+        flusher.clwb_range(e, 16);
+        flusher.fence();
+        self.staged.push((addr, value));
+    }
+
+    /// Number of staged entries.
+    pub fn staged(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Drops the staged entries without committing (validation failed).
+    pub fn abort(&mut self) {
+        self.staged.clear();
+    }
+
+    /// Durably commits the staged entries (sync #1), applies them to the
+    /// structure and makes the application durable (sync #2), then
+    /// truncates lazily.
+    pub fn commit_apply(&mut self, flusher: &mut Flusher) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let pool = &self.pool;
+        // Entries are already durable (persisted by `record`); write the
+        // commit record (count + checksum) and make it durable — it must
+        // not reach NVRAM before the entries it covers. (The checksum
+        // also rejects a log torn between entry lines.)
+        let mut checksum = 0xC0FF_EE00_D15C_0B01u64;
+        for &(addr, value) in self.staged.iter() {
+            checksum = mix(mix(checksum, addr as u64), value);
+        }
+        pool.atomic_u64(self.area + COUNT_OFF).store(self.staged.len() as u64, Ordering::Relaxed);
+        pool.atomic_u64(self.area + CHECKSUM_OFF).store(checksum, Ordering::Release);
+        flusher.clwb(self.area);
+        flusher.fence(); // commit sync: the transaction is now decided
+        // Apply.
+        for &(addr, value) in &self.staged {
+            pool.atomic_u64(addr).store(value, Ordering::Release);
+            flusher.clwb(addr);
+        }
+        flusher.fence(); // apply sync: the home locations are durable
+        // Truncate lazily (idempotent replay makes this safe without a
+        // fence).
+        pool.atomic_u64(self.area + COUNT_OFF).store(0, Ordering::Release);
+        flusher.clwb(self.area);
+        self.staged.clear();
+    }
+}
+
+/// Durable directory of per-thread log areas, anchored in a root slot so
+/// crashes can find and replay every log.
+pub struct LogDirectory {
+    pool: Arc<PmemPool>,
+    /// Region: `[MAX_THREADS log areas]`, 4 KiB-page aligned.
+    base: usize,
+}
+
+impl LogDirectory {
+    /// Allocates the directory and publishes it at `root_idx`.
+    pub fn create(domain: &NvDomain, root_idx: usize) -> Result<Self, OutOfMemory> {
+        let pool = Arc::clone(domain.pool());
+        let mut flusher = pool.flusher();
+        let bytes = nvalloc::MAX_THREADS * LOG_BYTES;
+        let base = domain.heap().alloc_region(bytes, &mut flusher)?;
+        pool.set_root(root_idx, base as u64, &mut flusher);
+        Ok(Self { pool, base })
+    }
+
+    /// Re-attaches to an existing directory.
+    pub fn attach(domain: &NvDomain, root_idx: usize) -> Self {
+        let pool = Arc::clone(domain.pool());
+        let base = pool.root(root_idx) as usize;
+        Self { pool, base }
+    }
+
+    /// Opens thread `tid`'s log.
+    pub fn open(&self, tid: usize) -> RedoLog {
+        assert!(tid < nvalloc::MAX_THREADS);
+        RedoLog::new(Arc::clone(&self.pool), self.base + tid * LOG_BYTES)
+    }
+
+    /// Replays every committed log (post-crash, quiescent). Returns the
+    /// number of transactions re-applied.
+    pub fn replay_all(&self, flusher: &mut Flusher) -> usize {
+        let mut replayed = 0;
+        for tid in 0..nvalloc::MAX_THREADS {
+            let area = self.base + tid * LOG_BYTES;
+            let count = self.pool.atomic_u64(area + COUNT_OFF).load(Ordering::Acquire) as usize;
+            if count == 0 || count > MAX_ENTRIES {
+                continue;
+            }
+            // Validate the checksum; a torn log means the transaction
+            // never committed.
+            let mut checksum = 0xC0FF_EE00_D15C_0B01u64;
+            let mut entries = Vec::with_capacity(count);
+            let mut valid = true;
+            for i in 0..count {
+                let e = area + ENTRIES_OFF + i * 16;
+                let addr = self.pool.atomic_u64(e).load(Ordering::Acquire) as usize;
+                let value = self.pool.atomic_u64(e + 8).load(Ordering::Acquire);
+                checksum = mix(mix(checksum, addr as u64), value);
+                if addr % 8 != 0 || !self.pool.contains(addr) {
+                    valid = false;
+                    break;
+                }
+                entries.push((addr, value));
+            }
+            if !valid
+                || checksum != self.pool.atomic_u64(area + CHECKSUM_OFF).load(Ordering::Acquire)
+            {
+                continue;
+            }
+            for (addr, value) in entries {
+                self.pool.atomic_u64(addr).store(value, Ordering::Release);
+                flusher.clwb(addr);
+            }
+            self.pool.atomic_u64(area + COUNT_OFF).store(0, Ordering::Release);
+            flusher.clwb(area);
+            replayed += 1;
+        }
+        flusher.fence();
+        replayed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{Mode, PoolBuilder};
+
+    fn setup() -> (Arc<PmemPool>, Arc<NvDomain>, LogDirectory) {
+        let pool = PoolBuilder::new(8 << 20).mode(Mode::CrashSim).build();
+        let domain = NvDomain::create(Arc::clone(&pool));
+        let dir = LogDirectory::create(&domain, 0).unwrap();
+        (pool, domain, dir)
+    }
+
+    #[test]
+    fn commit_apply_is_durable() {
+        let (pool, domain, dir) = setup();
+        let mut ctx = domain.register();
+        ctx.begin_op();
+        let a = ctx.alloc(64).unwrap();
+        ctx.end_op();
+        let mut log = dir.open(0);
+        log.record(a, 42, &mut ctx.flusher);
+        log.record(a + 8, 43, &mut ctx.flusher);
+        log.commit_apply(&mut ctx.flusher);
+        // SAFETY: single-threaded test.
+        unsafe { pool.simulate_crash().unwrap() };
+        assert_eq!(pool.atomic_u64(a).load(Ordering::Relaxed), 42);
+        assert_eq!(pool.atomic_u64(a + 8).load(Ordering::Relaxed), 43);
+    }
+
+    #[test]
+    fn committed_but_unapplied_log_replays() {
+        let (pool, domain, dir) = setup();
+        let mut ctx = domain.register();
+        ctx.begin_op();
+        let a = ctx.alloc(64).unwrap();
+        ctx.flusher.persist(a, 8);
+        ctx.end_op();
+        // Hand-craft a committed-but-not-applied crash state: commit the
+        // log image only.
+        let _log = dir.open(0);
+        // Simulate: write log area manually (count+checksum+entry) and
+        // persist just that, as if we crashed right after the commit
+        // sync but before the apply.
+        {
+            let area = pool.root(0) as usize;
+            let mut checksum = 0xC0FF_EE00_D15C_0B01u64;
+            checksum = mix(mix(checksum, a as u64), 77);
+            pool.atomic_u64(area + ENTRIES_OFF).store(a as u64, Ordering::Relaxed);
+            pool.atomic_u64(area + ENTRIES_OFF + 8).store(77, Ordering::Relaxed);
+            pool.atomic_u64(area + COUNT_OFF).store(1, Ordering::Relaxed);
+            pool.atomic_u64(area + CHECKSUM_OFF).store(checksum, Ordering::Relaxed);
+            ctx.flusher.clwb_range(area, ENTRIES_OFF + 16);
+            ctx.flusher.fence();
+        }
+        // SAFETY: single-threaded test.
+        unsafe { pool.simulate_crash().unwrap() };
+        let domain2 = NvDomain::attach(Arc::clone(&pool));
+        let dir2 = LogDirectory::attach(&domain2, 0);
+        let mut f = pool.flusher();
+        assert_eq!(dir2.replay_all(&mut f), 1);
+        assert_eq!(pool.atomic_u64(a).load(Ordering::Relaxed), 77);
+        // Replay truncated the log; a second replay is a no-op.
+        assert_eq!(dir2.replay_all(&mut f), 0);
+    }
+
+    #[test]
+    fn torn_log_is_discarded() {
+        let (pool, domain, _dir) = setup();
+        let mut ctx = domain.register();
+        ctx.begin_op();
+        let a = ctx.alloc(64).unwrap();
+        ctx.flusher.persist(a, 8);
+        ctx.end_op();
+        let area = pool.root(0) as usize;
+        // A count with a mismatched checksum (torn write).
+        pool.atomic_u64(area + ENTRIES_OFF).store(a as u64, Ordering::Relaxed);
+        pool.atomic_u64(area + ENTRIES_OFF + 8).store(99, Ordering::Relaxed);
+        pool.atomic_u64(area + COUNT_OFF).store(1, Ordering::Relaxed);
+        pool.atomic_u64(area + CHECKSUM_OFF).store(0xBAD, Ordering::Relaxed);
+        ctx.flusher.clwb_range(area, ENTRIES_OFF + 16);
+        ctx.flusher.fence();
+        // SAFETY: single-threaded test.
+        unsafe { pool.simulate_crash().unwrap() };
+        let domain2 = NvDomain::attach(Arc::clone(&pool));
+        let dir2 = LogDirectory::attach(&domain2, 0);
+        let mut f = pool.flusher();
+        assert_eq!(dir2.replay_all(&mut f), 0, "torn log must not replay");
+        assert_ne!(pool.atomic_u64(a).load(Ordering::Relaxed), 99);
+    }
+
+    #[test]
+    fn commit_costs_exactly_three_syncs() {
+        let (_pool, domain, dir) = setup();
+        let mut ctx = domain.register();
+        ctx.begin_op();
+        let a = ctx.alloc(64).unwrap();
+        ctx.end_op();
+        let mut log = dir.open(0);
+        let before = ctx.flusher.stats().sync_batches;
+        log.record(a, 1, &mut ctx.flusher);
+        log.commit_apply(&mut ctx.flusher);
+        assert_eq!(
+            ctx.flusher.stats().sync_batches - before,
+            3,
+            "one entry sync + commit sync + apply sync"
+        );
+    }
+
+    #[test]
+    fn empty_commit_is_free() {
+        let (_pool, domain, dir) = setup();
+        let mut ctx = domain.register();
+        let mut log = dir.open(0);
+        let before = ctx.flusher.stats().fences;
+        log.commit_apply(&mut ctx.flusher);
+        assert_eq!(ctx.flusher.stats().fences, before);
+    }
+}

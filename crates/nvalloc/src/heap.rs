@@ -1,0 +1,452 @@
+//! The persistent slab heap: fixed-size pages carved from the pool, each
+//! serving one size class, with a durable per-page allocation bitmap.
+//!
+//! This is the "basic persistent allocator" interface the paper assumes
+//! (§5.3): per-thread pages, durable metadata whose final write-back does
+//! **not** need to be awaited (the data-structure fence or the reclamation
+//! batch fence covers it), and a way to peek at the next address to be
+//! allocated so the active-page check can run before the allocation.
+//!
+//! # Pool layout
+//!
+//! ```text
+//! pool.heap_start()
+//!   ├─ heap meta page   (durable bump pointer)
+//!   ├─ APT region       (MAX_THREADS rows, see `apt` module)
+//!   └─ data pages ...   (4 KiB each: 64 B header + slots)
+//! ```
+//!
+//! # Page layout (header occupies the first cache line)
+//!
+//! ```text
+//! +0   magic      u64   identifies an initialised page + its class
+//! +8   slot_size  u64   bytes per slot
+//! +16  bitmap     u64   bit i set = slot i allocated   (durable)
+//! +24  .. 63      reserved
+//! +64  slot 0, slot 1, ...
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pmem::{Flusher, PmemPool};
+
+use crate::epoch::MAX_THREADS;
+
+/// Size of an allocator page in bytes (the granularity tracked by the
+/// active page table; §6.3 uses 4 KiB).
+pub const PAGE_SIZE: usize = 4096;
+/// Bytes reserved for the page header.
+pub const PAGE_HEADER: usize = 64;
+/// Slot size classes. Nodes are cache-aligned (§6.1), so classes are
+/// multiples of 64 B; 256 B fits a 24-level skip-list tower.
+pub const CLASSES: [usize; 4] = [64, 128, 192, 256];
+/// Number of size classes.
+pub const N_CLASSES: usize = CLASSES.len();
+
+const PAGE_MAGIC: u64 = 0x4E56_5041_4745_0000; // "NVPAGE" + class in low bits
+const REGION_MAGIC: u64 = 0x4E56_5245_4749_4F4E; // "NVREGION" header page
+
+/// Returns the size class index for an allocation of `size` bytes.
+///
+/// # Panics
+///
+/// Panics if `size` exceeds the largest class.
+#[inline]
+pub fn class_of(size: usize) -> usize {
+    CLASSES
+        .iter()
+        .position(|&c| size <= c)
+        .unwrap_or_else(|| panic!("allocation of {size} B exceeds largest class"))
+}
+
+/// Number of slots in a page of class `class`.
+#[inline]
+pub fn slots_in_class(class: usize) -> usize {
+    ((PAGE_SIZE - PAGE_HEADER) / CLASSES[class]).min(63)
+}
+
+/// Start address of the page containing `addr`.
+#[inline]
+pub fn page_of(addr: usize) -> usize {
+    addr & !(PAGE_SIZE - 1)
+}
+
+/// Typed view of a page header living in persistent memory.
+///
+/// All fields are accessed atomically; the bitmap is shared between the
+/// owning thread (allocations) and arbitrary threads (frees of reclaimed
+/// nodes).
+pub struct PageHeader;
+
+impl PageHeader {
+    #[inline]
+    fn magic(pool: &PmemPool, page: usize) -> &AtomicU64 {
+        pool.atomic_u64(page)
+    }
+
+    #[inline]
+    fn slot_size(pool: &PmemPool, page: usize) -> &AtomicU64 {
+        pool.atomic_u64(page + 8)
+    }
+
+    #[inline]
+    pub(crate) fn bitmap(pool: &PmemPool, page: usize) -> &AtomicU64 {
+        pool.atomic_u64(page + 16)
+    }
+
+    /// Initialises a fresh page for `class` and schedules its write-back
+    /// (no fence; the caller's next sync covers it).
+    pub fn init(pool: &PmemPool, page: usize, class: usize, flusher: &mut Flusher) {
+        Self::slot_size(pool, page).store(CLASSES[class] as u64, Ordering::Relaxed);
+        Self::bitmap(pool, page).store(0, Ordering::Relaxed);
+        Self::magic(pool, page).store(PAGE_MAGIC | class as u64, Ordering::Release);
+        flusher.clwb(page);
+    }
+
+    /// Reads the class of an initialised page, or `None` if the page
+    /// header is not valid.
+    pub fn read_class(pool: &PmemPool, page: usize) -> Option<usize> {
+        let m = Self::magic(pool, page).load(Ordering::Acquire);
+        if m & !0xFFFF == PAGE_MAGIC {
+            let class = (m & 0xFFFF) as usize;
+            (class < N_CLASSES).then_some(class)
+        } else {
+            None
+        }
+    }
+
+    /// Address of slot `i` in `page` of class `class`.
+    #[inline]
+    pub fn slot_addr(page: usize, class: usize, i: usize) -> usize {
+        page + PAGE_HEADER + i * CLASSES[class]
+    }
+
+    /// Slot index of `addr` within its page, given the page's class.
+    #[inline]
+    pub fn slot_index(addr: usize, class: usize) -> usize {
+        (addr - page_of(addr) - PAGE_HEADER) / CLASSES[class]
+    }
+
+    /// Marks slot `i` allocated. Returns `false` if it was already
+    /// allocated (contended with another thread).
+    pub fn try_set(pool: &PmemPool, page: usize, i: usize) -> bool {
+        let bm = Self::bitmap(pool, page);
+        let bit = 1u64 << i;
+        bm.fetch_or(bit, Ordering::AcqRel) & bit == 0
+    }
+
+    /// Clears slot `i` (free). Returns the previous bitmap value.
+    pub fn clear(pool: &PmemPool, page: usize, i: usize) -> u64 {
+        let bm = Self::bitmap(pool, page);
+        bm.fetch_and(!(1u64 << i), Ordering::AcqRel)
+    }
+
+    /// Index of a free slot, if any.
+    pub fn find_free(pool: &PmemPool, page: usize, class: usize) -> Option<usize> {
+        let bm = Self::bitmap(pool, page).load(Ordering::Acquire);
+        let n = slots_in_class(class);
+        let free = !bm & ((1u64 << n) - 1);
+        (free != 0).then(|| free.trailing_zeros() as usize)
+    }
+
+    /// Whether the page has no allocated slots.
+    pub fn is_empty(pool: &PmemPool, page: usize) -> bool {
+        Self::bitmap(pool, page).load(Ordering::Acquire) == 0
+    }
+}
+
+/// Global (volatile) heap state shared by all threads of a domain.
+///
+/// Persistent state is limited to the bump pointer (in the heap meta page)
+/// and the per-page headers; everything else is rebuilt by
+/// [`NvHeap::attach`] after a crash.
+pub struct NvHeap {
+    pool: Arc<PmemPool>,
+    /// Durable high-water mark: address of the next never-used page.
+    bump_addr: usize,
+    /// Volatile free lists of completely / partially free pages per class.
+    reusable: Mutex<[Vec<usize>; N_CLASSES]>,
+    /// Pages that were never assigned a class and are fully free.
+    blank: Mutex<Vec<usize>>,
+}
+
+/// Address of the first data page.
+pub fn data_start(pool: &PmemPool) -> usize {
+    pool.heap_start() + PAGE_SIZE + crate::apt::APT_REGION_BYTES.next_multiple_of(PAGE_SIZE)
+}
+
+impl NvHeap {
+    /// Formats a fresh heap in `pool` (erasing any previous content of the
+    /// meta page) and durably initialises the bump pointer.
+    pub fn format(pool: Arc<PmemPool>, flusher: &mut Flusher) -> Self {
+        let bump_addr = pool.heap_start();
+        let start = data_start(&pool);
+        pool.atomic_u64(bump_addr).store(start as u64, Ordering::Release);
+        flusher.persist(bump_addr, 8);
+        Self {
+            pool,
+            bump_addr,
+            reusable: Mutex::new(std::array::from_fn(|_| Vec::new())),
+            blank: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Re-attaches to a heap after a crash: reads the durable bump pointer
+    /// and rebuilds the volatile page lists by scanning page headers.
+    pub fn attach(pool: Arc<PmemPool>) -> Self {
+        let bump_addr = pool.heap_start();
+        let bump = pool.atomic_u64(bump_addr).load(Ordering::Acquire) as usize;
+        let mut reusable: [Vec<usize>; N_CLASSES] = std::array::from_fn(|_| Vec::new());
+        let mut blank = Vec::new();
+        let mut page = data_start(&pool);
+        while page < bump {
+            if pool.atomic_u64(page).load(Ordering::Acquire) == REGION_MAGIC {
+                // Persistent region (e.g. a hash-table bucket array): skip
+                // its header page and all of its data pages.
+                let npages = pool.atomic_u64(page + 8).load(Ordering::Acquire) as usize;
+                page += npages.max(1) * PAGE_SIZE;
+                continue;
+            }
+            match PageHeader::read_class(&pool, page) {
+                Some(class) => {
+                    if PageHeader::find_free(&pool, page, class).is_some() {
+                        reusable[class].push(page);
+                    }
+                }
+                None => blank.push(page),
+            }
+            page += PAGE_SIZE;
+        }
+        Self { pool, bump_addr, reusable: Mutex::new(reusable), blank: Mutex::new(blank) }
+    }
+
+    /// The pool backing this heap.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// Durable bump pointer value.
+    pub fn bump(&self) -> usize {
+        self.pool.atomic_u64(self.bump_addr).load(Ordering::Acquire) as usize
+    }
+
+    /// Acquires a page for `class`, preferring reusable pages. The page
+    /// header is (re-)initialised if needed. Durably advances the bump
+    /// pointer when taking a fresh page (one sync, amortised over the
+    /// page's ~63 slots).
+    pub fn acquire_page(&self, class: usize, flusher: &mut Flusher) -> Result<usize, OutOfMemory> {
+        if let Some(page) = self.reusable.lock().expect("heap lock")[class].pop() {
+            return Ok(page);
+        }
+        if let Some(page) = self.blank.lock().expect("heap lock").pop() {
+            PageHeader::init(&self.pool, page, class, flusher);
+            return Ok(page);
+        }
+        // Fresh page: CAS the durable bump pointer forward.
+        let bump = self.pool.atomic_u64(self.bump_addr);
+        loop {
+            let cur = bump.load(Ordering::Acquire) as usize;
+            if cur + PAGE_SIZE > self.pool.heap_end() {
+                return Err(OutOfMemory);
+            }
+            if bump
+                .compare_exchange(cur as u64, (cur + PAGE_SIZE) as u64, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                flusher.persist(self.bump_addr, 8);
+                PageHeader::init(&self.pool, cur, class, flusher);
+                return Ok(cur);
+            }
+        }
+    }
+
+    /// Returns a page with free capacity to the shared reusable list, so
+    /// another (or the same) thread can adopt it later.
+    pub fn release_page(&self, page: usize, class: usize) {
+        self.reusable.lock().expect("heap lock")[class].push(page);
+    }
+
+    /// Allocates a contiguous persistent region of at least `bytes` bytes
+    /// (e.g. a hash-table bucket array) and returns the address of its
+    /// data area. Regions live for the lifetime of the pool; the header
+    /// page makes [`NvHeap::attach`] skip them when rebuilding page lists.
+    pub fn alloc_region(&self, bytes: usize, flusher: &mut Flusher) -> Result<usize, OutOfMemory> {
+        let npages = 1 + bytes.div_ceil(PAGE_SIZE);
+        let bump = self.pool.atomic_u64(self.bump_addr);
+        loop {
+            let cur = bump.load(Ordering::Acquire) as usize;
+            if cur + npages * PAGE_SIZE > self.pool.heap_end() {
+                return Err(OutOfMemory);
+            }
+            if bump
+                .compare_exchange(
+                    cur as u64,
+                    (cur + npages * PAGE_SIZE) as u64,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.pool.atomic_u64(cur + 8).store(npages as u64, Ordering::Release);
+                self.pool.atomic_u64(cur).store(REGION_MAGIC, Ordering::Release);
+                flusher.clwb(cur);
+                flusher.persist(self.bump_addr, 8);
+                return Ok(cur + PAGE_SIZE);
+            }
+        }
+    }
+
+    /// Iterates over all initialised pages `(page, class)` up to the bump
+    /// pointer. Used by recovery audits and tests.
+    pub fn pages(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut page = data_start(&self.pool);
+        let bump = self.bump();
+        while page < bump {
+            if self.pool.atomic_u64(page).load(Ordering::Acquire) == REGION_MAGIC {
+                let npages = self.pool.atomic_u64(page + 8).load(Ordering::Acquire) as usize;
+                page += npages.max(1) * PAGE_SIZE;
+                continue;
+            }
+            if let Some(class) = PageHeader::read_class(&self.pool, page) {
+                out.push((page, class));
+            }
+            page += PAGE_SIZE;
+        }
+        out
+    }
+}
+
+/// The heap area of the pool is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory;
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "persistent heap exhausted")
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Bytes needed for the APT region; re-exported here to keep the layout
+/// computation in one place.
+pub(crate) const _ASSERT_THREADS: usize = MAX_THREADS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{Mode, PoolBuilder};
+
+    fn heap() -> (Arc<PmemPool>, NvHeap, Flusher) {
+        let pool = PoolBuilder::new(4 << 20).mode(Mode::CrashSim).build();
+        let mut f = pool.flusher();
+        let h = NvHeap::format(Arc::clone(&pool), &mut f);
+        (pool, h, f)
+    }
+
+    #[test]
+    fn class_of_maps_sizes() {
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(64), 0);
+        assert_eq!(class_of(65), 1);
+        assert_eq!(class_of(256), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds largest class")]
+    fn class_of_rejects_huge() {
+        let _ = class_of(257);
+    }
+
+    #[test]
+    fn slot_counts_match_page_geometry() {
+        assert_eq!(slots_in_class(0), 63);
+        assert_eq!(slots_in_class(1), 31);
+        assert_eq!(slots_in_class(2), 21);
+        assert_eq!(slots_in_class(3), 15);
+        for class in 0..N_CLASSES {
+            let last = PageHeader::slot_addr(0, class, slots_in_class(class) - 1);
+            assert!(last + CLASSES[class] <= PAGE_SIZE, "class {class} overflows page");
+        }
+    }
+
+    #[test]
+    fn acquire_initialises_header() {
+        let (pool, heap, mut f) = heap();
+        let page = heap.acquire_page(2, &mut f).unwrap();
+        assert_eq!(page % PAGE_SIZE, 0);
+        assert_eq!(PageHeader::read_class(&pool, page), Some(2));
+        assert!(PageHeader::is_empty(&pool, page));
+    }
+
+    #[test]
+    fn set_and_clear_slots() {
+        let (pool, heap, mut f) = heap();
+        let page = heap.acquire_page(0, &mut f).unwrap();
+        assert!(PageHeader::try_set(&pool, page, 5));
+        assert!(!PageHeader::try_set(&pool, page, 5), "double alloc detected");
+        assert_eq!(PageHeader::find_free(&pool, page, 0), Some(0));
+        PageHeader::clear(&pool, page, 5);
+        assert!(PageHeader::is_empty(&pool, page));
+    }
+
+    #[test]
+    fn slot_addr_round_trips_index() {
+        let page = 0x10000;
+        for class in 0..N_CLASSES {
+            for i in 0..slots_in_class(class) {
+                let addr = PageHeader::slot_addr(page, class, i);
+                assert_eq!(PageHeader::slot_index(addr, class), i);
+                assert_eq!(page_of(addr), page);
+            }
+        }
+    }
+
+    #[test]
+    fn bump_pointer_survives_crash() {
+        let (pool, heap, mut f) = heap();
+        let p1 = heap.acquire_page(0, &mut f).unwrap();
+        let _p2 = heap.acquire_page(1, &mut f).unwrap();
+        let bump_before = heap.bump();
+        // Make page headers durable (normally the data-structure fence
+        // does this).
+        f.fence();
+        drop(heap);
+        // SAFETY: single-threaded test.
+        unsafe { pool.simulate_crash().unwrap() };
+        let heap = NvHeap::attach(Arc::clone(&pool));
+        assert_eq!(heap.bump(), bump_before);
+        assert_eq!(PageHeader::read_class(&pool, p1), Some(0));
+    }
+
+    #[test]
+    fn attach_rebuilds_reusable_lists() {
+        let (pool, heap, mut f) = heap();
+        let page = heap.acquire_page(0, &mut f).unwrap();
+        PageHeader::try_set(&pool, page, 0);
+        f.clwb(page);
+        f.fence();
+        drop(heap);
+        // SAFETY: single-threaded test.
+        unsafe { pool.simulate_crash().unwrap() };
+        let heap = NvHeap::attach(Arc::clone(&pool));
+        // The page has free slots, so it must be adopted for reuse.
+        let got = heap.acquire_page(0, &mut f).unwrap();
+        assert_eq!(got, page);
+    }
+
+    #[test]
+    fn exhaustion_reports_oom() {
+        let pool = PoolBuilder::new(2 << 20).mode(Mode::Perf).build();
+        let mut f = pool.flusher();
+        let heap = NvHeap::format(Arc::clone(&pool), &mut f);
+        let mut n = 0;
+        while heap.acquire_page(0, &mut f).is_ok() {
+            n += 1;
+            assert!(n < 10_000, "runaway");
+        }
+        assert!(n > 0);
+    }
+}

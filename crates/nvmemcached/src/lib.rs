@@ -1,0 +1,409 @@
+//! **NV-Memcached** (§6.5): a durable object-cache model built on the
+//! log-free durable hash table, next to the two volatile systems the
+//! paper compares against.
+//!
+//! The paper transforms Memcached by replacing its core data structures —
+//! the hash table and the slab allocator — with durable versions:
+//!
+//! * stock **Memcached** uses a lock-protected sequential hash table →
+//!   modelled by [`VolatileMemcached`];
+//! * **memcached-clht** replaces it with a concurrent lock-free hash
+//!   table (CLHT) → modelled by [`ClhtMemcached`] (our lock-free hash
+//!   table over a [`pmem::Mode::Volatile`] pool);
+//! * **NV-Memcached** further swaps in the log-free *durable* hash table
+//!   and tracks **active slabs** so items leaked by a crash between
+//!   allocate-and-link (or unlink-and-free) are reclaimed at recovery →
+//!   [`NvMemcached`]. The active-slab table is exactly the NV-epochs
+//!   active-page table: items are slab(page)-allocated nodes.
+//!
+//! # Substitutions (documented in DESIGN.md)
+//!
+//! The comparison is in-process: the network stack is identical across
+//! the three systems in the paper's setup, so an in-process driver
+//! ([`memtier`]) preserves the comparison's shape. Keys and values are
+//! 8 bytes as in the paper's data-structure experiments (§6.1); larger
+//! values are accommodated by indirection, as the paper notes.
+
+pub mod memtier;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use linkcache::LinkCache;
+use logfree::{HashTable, LinkOps};
+use nvalloc::{NvDomain, OutOfMemory, RecoveryReport, ThreadCtx};
+use parking_lot::Mutex;
+use pmem::{Flusher, PmemPool};
+
+/// Root-directory slot used by the NV-Memcached hash table.
+pub const NVMC_ROOT: usize = 8;
+
+/// The durable cache.
+pub struct NvMemcached {
+    domain: Arc<NvDomain>,
+    table: HashTable,
+    /// Soft item capacity; beyond it, sets evict the oldest tracked key.
+    capacity: usize,
+    items: AtomicU64,
+    /// Coarse FIFO eviction queue (volatile, approximate — like
+    /// memcached's LRU it is advisory, not exact).
+    evict_queue: Mutex<std::collections::VecDeque<u64>>,
+}
+
+impl NvMemcached {
+    /// Creates a fresh cache over `pool` with `n_buckets` buckets and a
+    /// soft capacity of `capacity` items. Pass `use_link_cache` to enable
+    /// the link cache on the underlying table.
+    pub fn create(
+        pool: Arc<PmemPool>,
+        n_buckets: usize,
+        capacity: usize,
+        use_link_cache: bool,
+    ) -> Result<Self, OutOfMemory> {
+        let domain = NvDomain::create(Arc::clone(&pool));
+        let lc = use_link_cache.then(|| {
+            Arc::new(LinkCache::with_default_size(Arc::clone(&pool), logfree::marked::DIRTY))
+        });
+        let ops = LinkOps::new(Arc::clone(&pool), lc);
+        let table = HashTable::create(&domain, NVMC_ROOT, n_buckets, ops)?;
+        Ok(Self {
+            domain,
+            table,
+            capacity,
+            items: AtomicU64::new(0),
+            evict_queue: Mutex::new(std::collections::VecDeque::new()),
+        })
+    }
+
+    /// Re-attaches to a crashed cache image, repairs the table, and frees
+    /// items leaked between allocate/link or unlink/free (the active-slab
+    /// scan of §6.5). Returns the recovery report.
+    pub fn recover(pool: Arc<PmemPool>, capacity: usize) -> (Self, RecoveryReport) {
+        let domain = NvDomain::attach(Arc::clone(&pool));
+        let ops = LinkOps::new(Arc::clone(&pool), None);
+        let table = HashTable::attach(&domain, NVMC_ROOT, ops);
+        let mut flusher = pool.flusher();
+        table.recover(&mut flusher);
+        let report = domain.recover_leaks(|addr| table.contains_node_at(addr));
+        let snapshot = table.snapshot();
+        let items = snapshot.len() as u64;
+        let queue = snapshot.iter().map(|&(k, _)| k).collect();
+        (
+            Self {
+                domain,
+                table,
+                capacity,
+                items: AtomicU64::new(items),
+                evict_queue: Mutex::new(queue),
+            },
+            report,
+        )
+    }
+
+    /// The allocation domain (register worker threads here).
+    pub fn domain(&self) -> &Arc<NvDomain> {
+        &self.domain
+    }
+
+    /// Registers the calling worker thread.
+    pub fn register(&self) -> ThreadCtx {
+        self.domain.register()
+    }
+
+    /// Current (approximate) item count.
+    pub fn len(&self) -> usize {
+        self.items.load(Ordering::Relaxed) as usize
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stores `key -> value` (memcached `set`: upsert). Evicts the oldest
+    /// tracked key when over capacity.
+    pub fn set(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Result<(), OutOfMemory> {
+        loop {
+            if self.table.insert(ctx, key, value)? {
+                self.items.fetch_add(1, Ordering::Relaxed);
+                self.evict_queue.lock().push_back(key);
+                if self.len() > self.capacity {
+                    self.evict_one(ctx);
+                }
+                return Ok(());
+            }
+            // Key exists: replace (remove + reinsert; a cache tolerates
+            // the transient miss window).
+            if self.table.remove(ctx, key).is_some() {
+                self.items.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Fetches `key` (memcached `get`).
+    pub fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        self.table.get(ctx, key)
+    }
+
+    /// Deletes `key` (memcached `delete`).
+    pub fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        let v = self.table.remove(ctx, key);
+        if v.is_some() {
+            self.items.fetch_sub(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    /// Memcached `add`: stores only if the key is absent. Returns whether
+    /// the value was stored.
+    pub fn add(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
+        let stored = self.table.insert(ctx, key, value)?;
+        if stored {
+            self.items.fetch_add(1, Ordering::Relaxed);
+            self.evict_queue.lock().push_back(key);
+        }
+        Ok(stored)
+    }
+
+    /// Memcached `replace`: stores only if the key is present. Returns
+    /// whether the value was stored.
+    pub fn replace(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
+        loop {
+            if self.table.get(ctx, key).is_none() {
+                return Ok(false);
+            }
+            if self.table.remove(ctx, key).is_some() {
+                self.items.fetch_sub(1, Ordering::Relaxed);
+                self.set(ctx, key, value)?;
+                return Ok(true);
+            }
+            // Lost a race with a concurrent delete; re-check presence.
+        }
+    }
+
+    fn evict_one(&self, ctx: &mut ThreadCtx) {
+        // Pop victims until one is actually removed (entries may be
+        // stale after deletes/replacements).
+        for _ in 0..16 {
+            let Some(victim) = self.evict_queue.lock().pop_front() else { return };
+            if self.table.remove(ctx, victim).is_some() {
+                self.items.fetch_sub(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    /// Durability barrier: flush any link-cache residue (used before
+    /// planned shutdowns and by tests).
+    pub fn quiesce(&self, flusher: &mut Flusher) {
+        self.table.ops().flush_link_cache(flusher);
+    }
+
+    /// Quiescent snapshot (test support).
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.table.snapshot()
+    }
+}
+
+/// Stock Memcached model: one global lock around a sequential hash table
+/// (memcached shards this lock, but the data structure is sequential —
+/// the paper's point of comparison).
+#[derive(Default)]
+pub struct VolatileMemcached {
+    map: Mutex<HashMap<u64, u64>>,
+}
+
+impl VolatileMemcached {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `key -> value`.
+    pub fn set(&self, key: u64, value: u64) {
+        self.map.lock().insert(key, value);
+    }
+
+    /// Fetches `key`.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.map.lock().get(&key).copied()
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&self, key: u64) -> Option<u64> {
+        self.map.lock().remove(&key)
+    }
+
+    /// Item count.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// memcached-clht model: the same lock-free hash table, volatile (no
+/// durability work at all — the pool is in [`pmem::Mode::Volatile`]).
+pub struct ClhtMemcached {
+    domain: Arc<NvDomain>,
+    table: HashTable,
+}
+
+impl ClhtMemcached {
+    /// Creates a volatile lock-free cache with `n_buckets` buckets.
+    pub fn create(pool: Arc<PmemPool>, n_buckets: usize) -> Result<Self, OutOfMemory> {
+        assert_eq!(pool.mode(), pmem::Mode::Volatile, "clht model must use a volatile pool");
+        let domain = NvDomain::create(Arc::clone(&pool));
+        let ops = LinkOps::new(Arc::clone(&pool), None);
+        let table = HashTable::create(&domain, NVMC_ROOT, n_buckets, ops)?;
+        Ok(Self { domain, table })
+    }
+
+    /// Registers the calling worker thread.
+    pub fn register(&self) -> ThreadCtx {
+        self.domain.register()
+    }
+
+    /// Stores `key -> value` (upsert).
+    pub fn set(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Result<(), OutOfMemory> {
+        loop {
+            if self.table.insert(ctx, key, value)? {
+                return Ok(());
+            }
+            let _ = self.table.remove(ctx, key);
+        }
+    }
+
+    /// Fetches `key`.
+    pub fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        self.table.get(ctx, key)
+    }
+
+    /// Deletes `key`.
+    pub fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        self.table.remove(ctx, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{LatencyModel, Mode, PoolBuilder};
+
+    #[test]
+    fn set_get_delete_round_trip() {
+        let pool = PoolBuilder::new(32 << 20).mode(Mode::Perf).build();
+        let mc = NvMemcached::create(pool, 256, 10_000, false).unwrap();
+        let mut ctx = mc.register();
+        mc.set(&mut ctx, 1, 10).unwrap();
+        mc.set(&mut ctx, 2, 20).unwrap();
+        assert_eq!(mc.get(&mut ctx, 1), Some(10));
+        // Upsert replaces.
+        mc.set(&mut ctx, 1, 11).unwrap();
+        assert_eq!(mc.get(&mut ctx, 1), Some(11));
+        assert_eq!(mc.delete(&mut ctx, 2), Some(20));
+        assert_eq!(mc.get(&mut ctx, 2), None);
+        assert_eq!(mc.len(), 1);
+    }
+
+    #[test]
+    fn eviction_bounds_size() {
+        let pool = PoolBuilder::new(32 << 20).mode(Mode::Perf).build();
+        let mc = NvMemcached::create(pool, 256, 100, false).unwrap();
+        let mut ctx = mc.register();
+        for k in 1..=500u64 {
+            mc.set(&mut ctx, k, k).unwrap();
+        }
+        assert!(mc.len() <= 101, "capacity respected (len = {})", mc.len());
+    }
+
+    #[test]
+    fn completed_sets_survive_crash() {
+        let pool =
+            PoolBuilder::new(32 << 20).mode(Mode::CrashSim).latency(LatencyModel::ZERO).build();
+        {
+            let mc = NvMemcached::create(Arc::clone(&pool), 128, 100_000, false).unwrap();
+            let mut ctx = mc.register();
+            for k in 1..=200u64 {
+                mc.set(&mut ctx, k, k * 2).unwrap();
+            }
+            for k in 1..=50u64 {
+                mc.delete(&mut ctx, k);
+            }
+        }
+        // SAFETY: no threads are running.
+        unsafe { pool.simulate_crash().unwrap() };
+        let (mc2, report) = NvMemcached::recover(Arc::clone(&pool), 100_000);
+        assert!(!report.used_full_scan);
+        let mut ctx = mc2.register();
+        for k in 1..=50u64 {
+            assert_eq!(mc2.get(&mut ctx, k), None, "deleted key {k} stayed deleted");
+        }
+        for k in 51..=200u64 {
+            assert_eq!(mc2.get(&mut ctx, k), Some(k * 2), "key {k} recovered");
+        }
+        assert_eq!(mc2.len(), 150);
+        // The recovered instance keeps serving.
+        mc2.set(&mut ctx, 9999, 1).unwrap();
+        assert_eq!(mc2.get(&mut ctx, 9999), Some(1));
+    }
+
+    #[test]
+    fn add_and_replace_semantics() {
+        let pool = PoolBuilder::new(32 << 20).mode(Mode::Perf).build();
+        let mc = NvMemcached::create(pool, 256, 10_000, false).unwrap();
+        let mut ctx = mc.register();
+        assert!(mc.add(&mut ctx, 1, 10).unwrap(), "add to empty slot stores");
+        assert!(!mc.add(&mut ctx, 1, 11).unwrap(), "add to occupied slot refuses");
+        assert_eq!(mc.get(&mut ctx, 1), Some(10));
+        assert!(mc.replace(&mut ctx, 1, 12).unwrap(), "replace of present key stores");
+        assert_eq!(mc.get(&mut ctx, 1), Some(12));
+        assert!(!mc.replace(&mut ctx, 2, 20).unwrap(), "replace of absent key refuses");
+        assert_eq!(mc.get(&mut ctx, 2), None);
+        assert_eq!(mc.len(), 1);
+    }
+
+    #[test]
+    fn volatile_models_work() {
+        let v = VolatileMemcached::new();
+        v.set(1, 10);
+        assert_eq!(v.get(1), Some(10));
+        assert_eq!(v.delete(1), Some(10));
+        assert!(v.is_empty());
+
+        let pool = PoolBuilder::new(16 << 20).mode(Mode::Volatile).build();
+        let c = ClhtMemcached::create(pool, 64).unwrap();
+        let mut ctx = c.register();
+        c.set(&mut ctx, 1, 10).unwrap();
+        c.set(&mut ctx, 1, 11).unwrap();
+        assert_eq!(c.get(&mut ctx, 1), Some(11));
+        assert_eq!(c.delete(&mut ctx, 1), Some(11));
+    }
+
+    #[test]
+    fn concurrent_cache_traffic() {
+        let pool = PoolBuilder::new(128 << 20).mode(Mode::Perf).build();
+        let mc = NvMemcached::create(pool, 1024, 1_000_000, false).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let mc = &mc;
+                s.spawn(move || {
+                    let mut ctx = mc.register();
+                    for i in 0..4000u64 {
+                        let k = (t * 4000 + i) % 3000 + 1;
+                        if i % 5 == 0 {
+                            mc.set(&mut ctx, k, t).unwrap();
+                        } else {
+                            let _ = mc.get(&mut ctx, k);
+                        }
+                    }
+                    ctx.drain_all();
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,197 @@
+//! memtier_benchmark-style workload driver (§6.5).
+//!
+//! Mirrors the paper's methodology: a mix of `get` and `set` operations
+//! with keys drawn uniformly at random from a configurable range, a
+//! configurable set:get ratio (the paper uses 1:4), and a warm-up phase
+//! that populates half the key range before the timed run. In-process
+//! rather than over the network — see the crate docs for why that
+//! preserves the comparison.
+
+use std::time::{Duration, Instant};
+
+/// A single cache request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// `set key value`.
+    Set(u64, u64),
+    /// `get key`.
+    Get(u64),
+}
+
+/// Workload shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Keys are drawn uniformly from `1..=key_range`.
+    pub key_range: u64,
+    /// sets per (sets + gets); the paper's 1:4 set:get mix is 0.2.
+    pub set_fraction: f64,
+    /// Seed for reproducible runs.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// The paper's configuration: 1:4 set:get over `key_range` keys.
+    pub fn paper(key_range: u64, seed: u64) -> Self {
+        Self { key_range, set_fraction: 0.2, seed }
+    }
+
+    /// Creates the request stream for one worker thread.
+    pub fn stream(&self, thread: usize) -> RequestStream {
+        RequestStream {
+            state: self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1)),
+            key_range: self.key_range.max(1),
+            set_threshold: (self.set_fraction.clamp(0.0, 1.0) * u32::MAX as f64) as u32,
+        }
+    }
+
+    /// The warm-up key set: the first half of the key range, as in the
+    /// paper ("we warm up the cache by inserting items covering half of
+    /// the key range").
+    pub fn warmup_keys(&self) -> impl Iterator<Item = u64> {
+        1..=(self.key_range / 2).max(1)
+    }
+}
+
+/// Deterministic per-thread request generator (xorshift-based).
+pub struct RequestStream {
+    state: u64,
+    key_range: u64,
+    set_threshold: u32,
+}
+
+impl RequestStream {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = Request;
+
+    #[inline]
+    fn next(&mut self) -> Option<Request> {
+        let r = self.next_u64();
+        let key = (self.next_u64() % self.key_range) + 1;
+        Some(if (r as u32) < self.set_threshold {
+            Request::Set(key, r)
+        } else {
+            Request::Get(key)
+        })
+    }
+}
+
+/// Result of a timed run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Total requests executed.
+    pub requests: u64,
+    /// Wall-clock duration of the timed phase.
+    pub elapsed: Duration,
+}
+
+impl RunResult {
+    /// Requests per second.
+    pub fn throughput(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs `ops_per_thread` requests on each of `threads` workers.
+/// `make_worker(tid)` returns the per-thread closure executing one
+/// request (capturing the system under test and its thread context).
+pub fn run_threads<W, F>(
+    threads: usize,
+    ops_per_thread: u64,
+    workload: Workload,
+    make_worker: F,
+) -> RunResult
+where
+    F: Fn(usize) -> W + Sync,
+    W: FnMut(Request) + Send,
+{
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let mut worker = make_worker(t);
+            let mut stream = workload.stream(t);
+            s.spawn(move || {
+                for _ in 0..ops_per_thread {
+                    worker(stream.next().expect("infinite stream"));
+                }
+            });
+        }
+    });
+    RunResult { requests: threads as u64 * ops_per_thread, elapsed: start.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_approximately_one_to_four() {
+        let w = Workload::paper(1000, 42);
+        let mut sets = 0;
+        let mut gets = 0;
+        for req in w.stream(0).take(100_000) {
+            match req {
+                Request::Set(..) => sets += 1,
+                Request::Get(_) => gets += 1,
+            }
+        }
+        let frac = sets as f64 / (sets + gets) as f64;
+        assert!((0.18..0.22).contains(&frac), "set fraction {frac}");
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let w = Workload::paper(100, 7);
+        for req in w.stream(3).take(10_000) {
+            let k = match req {
+                Request::Set(k, _) => k,
+                Request::Get(k) => k,
+            };
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_thread() {
+        let w = Workload::paper(100, 7);
+        let a: Vec<_> = w.stream(1).take(100).collect();
+        let b: Vec<_> = w.stream(1).take(100).collect();
+        let c: Vec<_> = w.stream(2).take(100).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn warmup_covers_half_range() {
+        let w = Workload::paper(1000, 1);
+        let keys: Vec<_> = w.warmup_keys().collect();
+        assert_eq!(keys.len(), 500);
+        assert_eq!(keys[0], 1);
+        assert_eq!(*keys.last().unwrap(), 500);
+    }
+
+    #[test]
+    fn run_threads_counts_requests() {
+        let w = Workload::paper(50, 3);
+        let counter = std::sync::atomic::AtomicU64::new(0);
+        let r = run_threads(4, 1000, w, |_t| {
+            let c = &counter;
+            move |_req| {
+                c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        assert_eq!(r.requests, 4000);
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 4000);
+        assert!(r.throughput() > 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-thread write-back state: the software analogue of `clwb`/`sfence`.
+
+use std::sync::Arc;
+
+use crate::pool::{Mode, PmemPool};
+use crate::{line_of, CACHE_LINE};
+
+/// Counters describing the durable-write traffic a thread generated.
+///
+/// The paper's Figures 8 and 9 are explained by exactly these quantities:
+/// the log-free designs win by issuing fewer fences (sync operations), and
+/// the link cache wins further by increasing the batch size per fence.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Cache-line write-backs issued (`clwb` count).
+    pub clwbs: u64,
+    /// Fences issued (`sfence` count).
+    pub fences: u64,
+    /// Fences that actually had outstanding write-backs to drain (these
+    /// are the ones that pay NVRAM write latency).
+    pub sync_batches: u64,
+}
+
+/// A per-thread handle through which stores to a [`PmemPool`] are made
+/// durable.
+///
+/// Mirrors the hardware model: [`Flusher::clwb`] is asynchronous and only
+/// [`Flusher::fence`] guarantees completion. One `Flusher` must not be
+/// shared between threads (it is deliberately `!Sync`); create one per
+/// worker via [`PmemPool::flusher`].
+pub struct Flusher {
+    pool: Arc<PmemPool>,
+    /// Lines scheduled since the last fence (crash-sim mode only).
+    pending: Vec<usize>,
+    /// Whether any write-back is outstanding (perf mode batch flag).
+    batch_open: bool,
+    stats: FlushStats,
+}
+
+impl Flusher {
+    pub(crate) fn new(pool: Arc<PmemPool>) -> Self {
+        Self { pool, pending: Vec::with_capacity(64), batch_open: false, stats: FlushStats::default() }
+    }
+
+    /// The pool this flusher belongs to.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// Schedules a write-back of the cache line containing `addr`.
+    ///
+    /// The line is guaranteed durable only after the next [`Self::fence`].
+    #[inline]
+    pub fn clwb(&mut self, addr: usize) {
+        match self.pool.mode() {
+            // No instruction would be issued at all: don't count it.
+            Mode::Volatile => return,
+            _ => {}
+        }
+        self.stats.clwbs += 1;
+        match self.pool.mode() {
+            Mode::Volatile => {}
+            Mode::Perf => self.batch_open = true,
+            Mode::CrashSim => {
+                // Duplicates are deduplicated at fence time (sorting once
+                // per batch); a per-clwb linear scan would make large
+                // recovery passes quadratic.
+                self.pending.push(self.pool.line_index(line_of(addr)));
+                self.batch_open = true;
+            }
+        }
+    }
+
+    /// Schedules write-backs for every cache line overlapping
+    /// `[addr, addr + len)`.
+    #[inline]
+    pub fn clwb_range(&mut self, addr: usize, len: usize) {
+        let mut line = line_of(addr);
+        let end = addr + len.max(1);
+        while line < end {
+            self.clwb(line);
+            line += CACHE_LINE;
+        }
+    }
+
+    /// Drains all outstanding write-backs: after this returns, every line
+    /// passed to [`Self::clwb`] since the previous fence is durable.
+    ///
+    /// Costs one NVRAM batch write latency if (and only if) write-backs
+    /// were outstanding — the paper's "pause once per batch" model (§6.1).
+    #[inline]
+    pub fn fence(&mut self) {
+        if self.pool.mode() == Mode::Volatile {
+            return;
+        }
+        self.stats.fences += 1;
+        if !self.batch_open {
+            return;
+        }
+        self.stats.sync_batches += 1;
+        if let Some(shadow) = self.pool.shadow() {
+            let base = self.pool.base_ptr();
+            self.pending.sort_unstable();
+            self.pending.dedup();
+            // Hold the commit gate so a concurrent crash-image capture is
+            // an instantaneous cut: whole batches are either in or out.
+            let _gate = shadow.begin_commit_batch();
+            for &line in &self.pending {
+                // SAFETY: `line` was computed from an in-bounds pool
+                // address in `clwb`; `base` covers the whole pool.
+                unsafe { shadow.commit_line(base, line) };
+            }
+            self.pending.clear();
+        }
+        self.pool.latency().pause_batch();
+        self.batch_open = false;
+    }
+
+    /// Convenience: `clwb_range` followed by `fence`. This is the paper's
+    /// "sync operation".
+    #[inline]
+    pub fn persist(&mut self, addr: usize, len: usize) {
+        self.clwb_range(addr, len);
+        self.fence();
+    }
+
+    /// Whether a write-back is outstanding (no fence since the last clwb).
+    pub fn has_pending(&self) -> bool {
+        self.batch_open
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> FlushStats {
+        self.stats
+    }
+
+    /// Resets the counters (e.g. after warm-up, before a measured run).
+    pub fn reset_stats(&mut self) {
+        self.stats = FlushStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolBuilder;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn stats_count_clwbs_and_batches() {
+        let pool = PoolBuilder::new(1 << 20).mode(Mode::Perf).build();
+        let mut f = pool.flusher();
+        let a = pool.heap_start();
+        f.clwb(a);
+        f.clwb(a + 64);
+        f.fence();
+        f.fence(); // empty fence: no batch
+        assert_eq!(f.stats(), FlushStats { clwbs: 2, fences: 2, sync_batches: 1 });
+    }
+
+    #[test]
+    fn clwb_range_covers_straddling_lines() {
+        let pool = PoolBuilder::new(1 << 20).mode(Mode::CrashSim).build();
+        let mut f = pool.flusher();
+        let a = pool.heap_start() + 60; // straddles two lines
+        pool.atomic_u64(pool.heap_start() + 56).store(1, Ordering::Relaxed);
+        pool.atomic_u64(pool.heap_start() + 64).store(2, Ordering::Relaxed);
+        f.clwb_range(a, 8);
+        f.fence();
+        // SAFETY: single-threaded test.
+        unsafe { pool.simulate_crash().unwrap() };
+        assert_eq!(pool.atomic_u64(pool.heap_start() + 56).load(Ordering::Relaxed), 1);
+        assert_eq!(pool.atomic_u64(pool.heap_start() + 64).load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pending_lines_deduplicate() {
+        let pool = PoolBuilder::new(1 << 20).mode(Mode::CrashSim).build();
+        let mut f = pool.flusher();
+        let a = pool.heap_start();
+        f.clwb(a);
+        f.clwb(a + 8); // same line
+        assert_eq!(f.stats().clwbs, 2);
+        f.fence();
+        assert_eq!(f.stats().sync_batches, 1);
+        assert!(!f.has_pending());
+    }
+
+    #[test]
+    fn reset_stats_zeroes() {
+        let pool = PoolBuilder::new(1 << 20).mode(Mode::Perf).build();
+        let mut f = pool.flusher();
+        f.clwb(pool.heap_start());
+        f.fence();
+        f.reset_stats();
+        assert_eq!(f.stats(), FlushStats::default());
+    }
+}

@@ -1,0 +1,167 @@
+//! The durable shadow image used in crash-simulation mode.
+//!
+//! The shadow holds the bytes that would have survived a power failure:
+//! a cache line's content reaches the shadow only when a `clwb` for it is
+//! drained by a fence. On a simulated crash, the shadow is copied back over
+//! the working memory, discarding every store that was never durably
+//! written back — the adversarial interpretation of a crash (see crate
+//! docs).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use crate::CACHE_LINE;
+
+const WORDS_PER_LINE: usize = CACHE_LINE / 8;
+
+/// Durable image of a pool, maintained at cache-line granularity.
+///
+/// All operations are word-atomic: concurrent committers of the same line
+/// race benignly (both copy current-or-newer word values), which models the
+/// fact that on real hardware the write-back of a line may complete at any
+/// time between the `clwb` and the fence.
+pub struct Shadow {
+    words: Box<[AtomicU64]>,
+    /// Commit batches take this shared; snapshot/restore take it
+    /// exclusive. This makes a captured image an *instantaneous* cut of
+    /// the durable state: without it, an address-order capture could
+    /// include a later commit while missing an earlier one — a state no
+    /// real power failure can produce (fences order commits in time).
+    gate: RwLock<()>,
+}
+
+impl Shadow {
+    /// Creates a shadow for a pool of `len` bytes, initialised from the
+    /// pool's current (zeroed) contents.
+    ///
+    /// `len` must be a multiple of [`CACHE_LINE`].
+    pub fn new(len: usize) -> Self {
+        assert_eq!(len % CACHE_LINE, 0, "pool length must be line-aligned");
+        let mut v = Vec::with_capacity(len / 8);
+        v.resize_with(len / 8, || AtomicU64::new(0));
+        Self { words: v.into_boxed_slice(), gate: RwLock::new(()) }
+    }
+
+    /// Takes the commit gate shared for the duration of a fence's batch.
+    pub(crate) fn begin_commit_batch(&self) -> std::sync::RwLockReadGuard<'_, ()> {
+        self.gate.read().expect("shadow gate poisoned")
+    }
+
+    /// Number of cache lines covered.
+    pub fn lines(&self) -> usize {
+        self.words.len() / WORDS_PER_LINE
+    }
+
+    /// Commits cache line `line` (index, not address) from the working
+    /// memory starting at `base` into the shadow.
+    ///
+    /// # Safety
+    ///
+    /// `base` must point to a live allocation of at least
+    /// `self.lines() * CACHE_LINE` bytes, and `line < self.lines()`.
+    /// Concurrent ordinary stores to the same line are allowed; each
+    /// 8-byte word is copied atomically.
+    pub unsafe fn commit_line(&self, base: *const u8, line: usize) {
+        debug_assert!(line < self.lines());
+        let first_word = line * WORDS_PER_LINE;
+        // SAFETY: caller guarantees `base` covers the line; word reads are
+        // volatile so the compiler cannot elide or tear them, and the
+        // underlying accesses are 8-byte aligned.
+        unsafe {
+            let src = (base as *const u64).add(first_word);
+            for w in 0..WORDS_PER_LINE {
+                let val = std::ptr::read_volatile(src.add(w));
+                self.words[first_word + w].store(val, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Restores the entire working memory at `base` from the shadow,
+    /// simulating the post-crash state.
+    ///
+    /// # Safety
+    ///
+    /// `base` must point to a live allocation of at least
+    /// `self.lines() * CACHE_LINE` bytes and no other thread may access the
+    /// pool concurrently (the machine is "rebooting").
+    pub unsafe fn restore(&self, base: *mut u8) {
+        // SAFETY: caller guarantees exclusive access and sufficient length.
+        unsafe {
+            let dst = base as *mut u64;
+            for (i, w) in self.words.iter().enumerate() {
+                std::ptr::write_volatile(dst.add(i), w.load(Ordering::Relaxed));
+            }
+        }
+    }
+
+    /// Clones the current durable image. Used by concurrent torture tests
+    /// to capture "the state NVRAM would have had if power failed now"
+    /// while worker threads keep running.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let _g = self.gate.write().expect("shadow gate poisoned");
+        self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Overwrites the durable image with a previously captured snapshot.
+    pub fn load_snapshot(&self, snap: &[u64]) {
+        assert_eq!(snap.len(), self.words.len(), "snapshot length mismatch");
+        for (w, &v) in self.words.iter().zip(snap) {
+            w.store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_and_restore_round_trip() {
+        let mut buf = vec![0u8; 4 * CACHE_LINE];
+        let shadow = Shadow::new(buf.len());
+        // Write a pattern, commit only line 1.
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        // SAFETY: buf is live and long enough; single-threaded.
+        unsafe { shadow.commit_line(buf.as_ptr(), 1) };
+        // Scribble over everything, then restore.
+        for b in buf.iter_mut() {
+            *b = 0xFF;
+        }
+        // SAFETY: exclusive access to buf.
+        unsafe { shadow.restore(buf.as_mut_ptr()) };
+        // Line 1 survived; the others reverted to the initial zeros.
+        for (i, &b) in buf.iter().enumerate() {
+            let expected = if (CACHE_LINE..2 * CACHE_LINE).contains(&i) {
+                (i % 251) as u8
+            } else {
+                0
+            };
+            assert_eq!(b, expected, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut buf = vec![0u8; 2 * CACHE_LINE];
+        let shadow = Shadow::new(buf.len());
+        buf[0] = 42;
+        // SAFETY: buf is live; single-threaded.
+        unsafe { shadow.commit_line(buf.as_ptr(), 0) };
+        let snap = shadow.snapshot();
+        buf[0] = 43;
+        // SAFETY: as above.
+        unsafe { shadow.commit_line(buf.as_ptr(), 0) };
+        shadow.load_snapshot(&snap);
+        // SAFETY: exclusive access.
+        unsafe { shadow.restore(buf.as_mut_ptr()) };
+        assert_eq!(buf[0], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "line-aligned")]
+    fn rejects_unaligned_length() {
+        let _ = Shadow::new(100);
+    }
+}

@@ -1,0 +1,272 @@
+//! Property-based tests (proptest): set semantics against a `BTreeMap`
+//! oracle for all four structures, durable linearizability at arbitrary
+//! crash prefixes, allocator soundness, and link-cache invariants.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use nvram_logfree::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy(key_max: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1..key_max, 0..1000u64).prop_map(|(k, v)| Op::Insert(k, v)),
+        (1..key_max).prop_map(Op::Remove),
+        (1..key_max).prop_map(Op::Get),
+    ]
+}
+
+fn crash_pool(mb: usize) -> Arc<PmemPool> {
+    PoolBuilder::new(mb << 20).mode(Mode::CrashSim).build()
+}
+
+/// Applies ops to a structure + oracle, asserting identical results.
+macro_rules! oracle_property {
+    ($name:ident, $create:expr, $lookup_snapshot:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+            #[test]
+            fn $name(ops in proptest::collection::vec(op_strategy(64), 1..400)) {
+                let pool = crash_pool(32);
+                let domain = NvDomain::create(Arc::clone(&pool));
+                let mut ctx = domain.register();
+                #[allow(clippy::redundant_closure_call)]
+                let ds = ($create)(&domain, &pool, &mut ctx);
+                let mut oracle = BTreeMap::new();
+                for op in &ops {
+                    match *op {
+                        Op::Insert(k, v) => {
+                            let ours = ds.insert(&mut ctx, k, v).unwrap();
+                            prop_assert_eq!(ours, !oracle.contains_key(&k));
+                            if ours {
+                                // Set semantics: failed inserts do not
+                                // overwrite the stored value.
+                                oracle.insert(k, v);
+                            }
+                        }
+                        Op::Remove(k) => {
+                            prop_assert_eq!(ds.remove(&mut ctx, k), oracle.remove(&k));
+                        }
+                        Op::Get(k) => {
+                            prop_assert_eq!(ds.get(&mut ctx, k), oracle.get(&k).copied());
+                        }
+                    }
+                }
+                #[allow(clippy::redundant_closure_call)]
+                let mut snap = ($lookup_snapshot)(&ds);
+                snap.sort_unstable();
+                let expect: Vec<(u64, u64)> = oracle.into_iter().collect();
+                prop_assert_eq!(snap, expect);
+            }
+        }
+    };
+}
+
+oracle_property!(
+    linked_list_matches_oracle,
+    |domain: &Arc<NvDomain>, pool: &Arc<PmemPool>, _ctx: &mut ThreadCtx| LinkedList::create(
+        domain,
+        1,
+        LinkOps::new(Arc::clone(pool), None)
+    ),
+    |ds: &LinkedList| ds.snapshot()
+);
+
+oracle_property!(
+    hash_table_matches_oracle,
+    |domain: &Arc<NvDomain>, pool: &Arc<PmemPool>, _ctx: &mut ThreadCtx| HashTable::create(
+        domain,
+        1,
+        32,
+        LinkOps::new(Arc::clone(pool), None)
+    )
+    .unwrap(),
+    |ds: &HashTable| ds.snapshot()
+);
+
+oracle_property!(
+    skip_list_matches_oracle,
+    |domain: &Arc<NvDomain>, pool: &Arc<PmemPool>, ctx: &mut ThreadCtx| SkipList::create(
+        domain,
+        ctx,
+        1,
+        LinkOps::new(Arc::clone(pool), None)
+    )
+    .unwrap(),
+    |ds: &SkipList| ds.snapshot()
+);
+
+oracle_property!(
+    bst_matches_oracle,
+    |domain: &Arc<NvDomain>, pool: &Arc<PmemPool>, ctx: &mut ThreadCtx| Bst::create(
+        domain,
+        ctx,
+        1,
+        LinkOps::new(Arc::clone(pool), None)
+    )
+    .unwrap(),
+    |ds: &Bst| ds.snapshot()
+);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Durable linearizability at an arbitrary crash point: apply a
+    /// random op sequence single-threaded, crash after a random prefix,
+    /// recover, and require exactly the oracle state at that prefix.
+    #[test]
+    fn hash_table_crash_at_any_prefix_is_exact(
+        ops in proptest::collection::vec(op_strategy(48), 1..250),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let pool = crash_pool(32);
+        let domain = NvDomain::create(Arc::clone(&pool));
+        let ht = HashTable::create(&domain, 1, 32, LinkOps::new(Arc::clone(&pool), None))
+            .unwrap();
+        let mut ctx = domain.register();
+        let cut = ((ops.len() as f64) * cut_frac) as usize;
+        let mut oracle = BTreeMap::new();
+        let mut image = None;
+        for (i, op) in ops.iter().enumerate() {
+            if i == cut {
+                image = Some((pool.capture_crash_image().unwrap(), oracle.clone()));
+            }
+            match *op {
+                Op::Insert(k, v) => {
+                    if ht.insert(&mut ctx, k, v).unwrap() {
+                        oracle.insert(k, v);
+                    }
+                }
+                Op::Remove(k) => {
+                    ht.remove(&mut ctx, k);
+                    oracle.remove(&k);
+                }
+                Op::Get(k) => {
+                    ht.get(&mut ctx, k);
+                }
+            }
+        }
+        let (img, expect) = image.unwrap_or_else(|| {
+            (pool.capture_crash_image().unwrap(), oracle.clone())
+        });
+        drop(ctx);
+        // SAFETY: no threads running.
+        unsafe { pool.crash_to_image(&img).unwrap() };
+        let domain = NvDomain::attach(Arc::clone(&pool));
+        let ht = HashTable::attach(&domain, 1, LinkOps::new(Arc::clone(&pool), None));
+        let mut f = pool.flusher();
+        ht.recover(&mut f);
+        domain.recover_leaks(|a| ht.contains_node_at(a));
+        let mut snap = ht.snapshot();
+        snap.sort_unstable();
+        prop_assert_eq!(snap, expect.into_iter().collect::<Vec<_>>());
+    }
+
+    /// The allocator never double-allocates and never loses slots under
+    /// random alloc/retire interleavings.
+    #[test]
+    fn allocator_is_sound(
+        script in proptest::collection::vec((any::<bool>(), 0..4usize), 1..600)
+    ) {
+        let pool = PoolBuilder::new(32 << 20).mode(Mode::Perf).build();
+        let domain = NvDomain::create(Arc::clone(&pool));
+        let mut ctx = domain.register();
+        let sizes = [24usize, 100, 180, 250];
+        let mut live: Vec<usize> = Vec::new();
+        for (is_alloc, class) in script {
+            ctx.begin_op();
+            if is_alloc || live.is_empty() {
+                let a = ctx.alloc(sizes[class]).unwrap();
+                prop_assert!(!live.contains(&a), "double allocation of {a:#x}");
+                live.push(a);
+            } else {
+                let a = live.swap_remove(live.len() / 2);
+                ctx.retire(a);
+            }
+            ctx.end_op();
+        }
+        ctx.drain_all();
+    }
+
+    /// Link cache: whatever interleaving of adds and scans happens, after
+    /// `flush_all` every accepted link update is durable.
+    #[test]
+    fn link_cache_flush_makes_all_adds_durable(
+        keys in proptest::collection::vec(0..200u64, 1..150)
+    ) {
+        use nvram_logfree::logfree::marked::DIRTY;
+        let pool = crash_pool(16);
+        let lc = LinkCache::with_default_size(Arc::clone(&pool), DIRTY);
+        let mut f = pool.flusher();
+        let base = pool.heap_start();
+        let mut accepted: Vec<(usize, u64)> = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let addr = base + 8 * i;
+            let new = ((i as u64) + 1) << 3;
+            match lc.try_link_and_add(k, addr, 0, new) {
+                linkcache::TryLink::Added => accepted.push((addr, new)),
+                linkcache::TryLink::CacheFull => {
+                    // Fallback path: link-and-persist by hand.
+                    pool.atomic_u64(addr).store(new, std::sync::atomic::Ordering::Release);
+                    f.persist(addr, 8);
+                    accepted.push((addr, new));
+                }
+                linkcache::TryLink::LinkCasFailed => {}
+            }
+            if i % 7 == 0 {
+                lc.scan(k, &mut f);
+            }
+        }
+        lc.flush_all(&mut f);
+        // SAFETY: no threads running.
+        unsafe { pool.simulate_crash().unwrap() };
+        for (addr, want) in accepted {
+            let got = pool.atomic_u64(addr).load(std::sync::atomic::Ordering::Relaxed);
+            prop_assert_eq!(got & !DIRTY, want);
+        }
+    }
+
+    /// The pmem shadow is exact: bytes flushed are exactly the bytes that
+    /// survive.
+    #[test]
+    fn shadow_tracks_flushed_lines_exactly(
+        writes in proptest::collection::vec((0..512usize, any::<u64>(), any::<bool>()), 1..100)
+    ) {
+        let pool = crash_pool(4);
+        let mut f = pool.flusher();
+        let base = pool.heap_start();
+        let mut expect: BTreeMap<usize, u64> = BTreeMap::new();
+        for (slot, val, flush) in writes {
+            let addr = base + slot * 8;
+            pool.atomic_u64(addr).store(val, std::sync::atomic::Ordering::Relaxed);
+            if flush {
+                f.persist(addr, 8);
+                // Flushing commits the whole cache line, including any
+                // unflushed neighbours written earlier.
+                let line = addr & !63;
+                for neighbour in (line..line + 64).step_by(8) {
+                    let v = pool
+                        .atomic_u64(neighbour)
+                        .load(std::sync::atomic::Ordering::Relaxed);
+                    if v != 0 {
+                        expect.insert(neighbour, v);
+                    }
+                }
+                expect.insert(addr, val);
+            }
+        }
+        // SAFETY: no threads running.
+        unsafe { pool.simulate_crash().unwrap() };
+        for (addr, want) in expect {
+            let got = pool.atomic_u64(addr).load(std::sync::atomic::Ordering::Relaxed);
+            prop_assert_eq!(got, want, "addr {:#x}", addr);
+        }
+    }
+}
