@@ -243,11 +243,9 @@ impl LinkCache {
         let control = bucket.control.load(Ordering::Acquire);
         for i in 0..ENTRIES_PER_BUCKET {
             match Bucket::state_of(control, i) {
-                STATE_BUSY => {
-                    if bucket.hashes[i].load(Ordering::Acquire) == tag {
-                        self.flush_bucket(bucket, flusher);
-                        return;
-                    }
+                STATE_BUSY if bucket.hashes[i].load(Ordering::Acquire) == tag => {
+                    self.flush_bucket(bucket, flusher);
+                    return;
                 }
                 STATE_PENDING => {
                     if bucket.hashes[i].load(Ordering::Acquire) != tag {

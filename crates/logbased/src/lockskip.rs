@@ -190,6 +190,9 @@ impl LockSkipList {
         r
     }
 
+    // Tower levels index `preds`/`succs` and feed `tower()` at once; range
+    // loops read better than iterator adapters here.
+    #[allow(clippy::needless_range_loop)]
     fn insert_inner(
         &self,
         ctx: &mut ThreadCtx,
@@ -268,6 +271,7 @@ impl LockSkipList {
         r
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn remove_inner(&self, ctx: &mut ThreadCtx, log: &mut RedoLog, key: u64) -> Option<u64> {
         let mut preds = [0usize; MAX_HEIGHT];
         let mut succs = [0usize; MAX_HEIGHT];

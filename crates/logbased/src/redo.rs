@@ -21,7 +21,7 @@
 //!
 //! So a transaction with `n` logged stores pays `n + 2` syncs, versus
 //! the log-free structures' one per link update (insert: pre-link fence
-//! + link persist; amortised below one with the link cache) — exactly
+//! plus link persist; amortised below one with the link cache) — exactly
 //! the cost gap Figures 5–8 measure, and why the gap grows with the
 //! number of logged stores (the skip list logs one per tower level).
 //!

@@ -195,6 +195,10 @@ pub struct RecoveryReport {
     pub used_full_scan: bool,
 }
 
+/// Callback run after an APT trim writes back evicted entries (the link
+/// cache registers its flush here so trimmed pages stay durable).
+pub type TrimHook = Box<dyn FnMut(&mut Flusher) + Send>;
+
 /// Per-thread operation context: allocation, retirement, epochs and the
 /// thread's flusher.
 ///
@@ -211,7 +215,7 @@ pub struct ThreadCtx {
     open_gen: Vec<usize>,
     pending: VecDeque<Generation>,
     cur_epoch: u64,
-    trim_hook: Option<Box<dyn FnMut(&mut Flusher) + Send>>,
+    trim_hook: Option<TrimHook>,
     mem_mode: MemMode,
 }
 
@@ -249,7 +253,7 @@ impl ThreadCtx {
     /// Installs a hook run before an APT trim. The log-free structures use
     /// this to flush their link cache (§5.4 requires that no cached link
     /// refer to a page being trimmed).
-    pub fn set_trim_hook(&mut self, hook: Box<dyn FnMut(&mut Flusher) + Send>) {
+    pub fn set_trim_hook(&mut self, hook: TrimHook) {
         self.trim_hook = Some(hook);
     }
 
@@ -445,7 +449,7 @@ impl ThreadCtx {
         apt.trim(
             cur_epoch,
             |page| {
-                !cur_page.iter().any(|&p| p == Some(page))
+                !cur_page.contains(&Some(page))
                     && !open.iter().any(|&a| page_of(a) == page)
                     && !pending.iter().any(|g| g.nodes.iter().any(|&a| page_of(a) == page))
             },

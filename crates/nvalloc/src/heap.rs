@@ -361,6 +361,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn slot_counts_match_page_geometry() {
         assert_eq!(slots_in_class(0), 63);
         assert_eq!(slots_in_class(1), 31);

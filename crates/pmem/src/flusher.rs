@@ -55,11 +55,6 @@ impl Flusher {
         match self.pool.mode() {
             // No instruction would be issued at all: don't count it.
             Mode::Volatile => return,
-            _ => {}
-        }
-        self.stats.clwbs += 1;
-        match self.pool.mode() {
-            Mode::Volatile => {}
             Mode::Perf => self.batch_open = true,
             Mode::CrashSim => {
                 // Duplicates are deduplicated at fence time (sorting once
@@ -69,6 +64,7 @@ impl Flusher {
                 self.batch_open = true;
             }
         }
+        self.stats.clwbs += 1;
     }
 
     /// Schedules write-backs for every cache line overlapping

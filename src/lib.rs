@@ -17,8 +17,10 @@
 //! * [`nvmemcached`] — **NV-Memcached** (§6.5) and its volatile
 //!   comparison points, plus a memtier-style workload driver.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
-//! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory,
+//! the experiment index, and the documented deviations from the paper.
+//! Each harness under `crates/bench/src/bin/` prints paper-reported
+//! ratios next to the measured ones.
 //!
 //! ## Quickstart
 //!

@@ -12,6 +12,10 @@ fn crash_pool(mb: usize) -> Arc<PmemPool> {
     PoolBuilder::new(mb << 20).mode(Mode::CrashSim).build()
 }
 
+/// Per-thread journal of completed updates: `(key, Some(val))` for an
+/// insert, `(key, None)` for a remove.
+type CompletedLog = Mutex<Vec<(u64, Option<u64>)>>;
+
 #[test]
 fn two_structures_share_one_pool_and_recover_together() {
     let pool = crash_pool(64);
@@ -61,8 +65,7 @@ where
     let pool = crash_pool(256);
     let domain = NvDomain::create(Arc::clone(&pool));
     let ds = make(&domain, &pool);
-    let completed: Vec<Mutex<Vec<(u64, Option<u64>)>>> =
-        (0..THREADS).map(|_| Mutex::new(Vec::new())).collect();
+    let completed: Vec<CompletedLog> = (0..THREADS).map(|_| Mutex::new(Vec::new())).collect();
     let image: Mutex<Option<(Vec<u64>, Vec<usize>)>> = Mutex::new(None);
 
     std::thread::scope(|s| {

@@ -1,0 +1,174 @@
+//! Offline API-compatible subset of `criterion`: wall-clock ns/iter
+//! measurement with `measurement_time`/`warm_up_time` honoured and a
+//! plain-text report — no statistics, plots, or saved baselines. See
+//! `vendor/README.md`.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, like `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement settings shared by [`Criterion`] and benchmark groups.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self { warm_up: Duration::from_millis(100), measurement: Duration::from_millis(400) }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), settings: self.settings, _parent: self }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.into(), self.settings, f);
+        self
+    }
+}
+
+/// A named group of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the timed-measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name.into()), self.settings, f);
+        self
+    }
+
+    /// Ends the group (report already printed per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    settings: Settings,
+    /// (total iterations, total measured time) filled in by `iter`.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then measuring in growing batches
+    /// until the configured measurement time is spent.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: also calibrates a batch size targeting ~1ms per batch
+        // so `Instant::now` overhead stays negligible for fast bodies.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.settings.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let warm_elapsed = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_iter = warm_elapsed.as_nanos() as u64 / warm_iters.max(1);
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1 << 20);
+
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while spent < self.settings.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            spent += t.elapsed();
+            iters += batch;
+        }
+        self.result = Some((iters, spent));
+    }
+}
+
+fn run_one(name: &str, settings: Settings, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { settings, result: None };
+    f(&mut b);
+    match b.result {
+        Some((iters, spent)) => {
+            let ns = spent.as_nanos() as f64 / iters.max(1) as f64;
+            println!("{name:<50} {ns:>12.1} ns/iter ({iters} iterations)");
+        }
+        None => println!("{name:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Bundles benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.measurement_time(Duration::from_millis(5)).warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+}

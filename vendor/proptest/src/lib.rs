@@ -1,0 +1,473 @@
+//! Offline API-compatible subset of `proptest` covering the surface this
+//! workspace uses: the [`proptest!`], [`prop_oneof!`] and `prop_assert*!`
+//! macros, the [`Strategy`] trait with `prop_map`, [`any`], integer/float
+//! ranges and tuples as strategies, and [`collection::vec`]. See
+//! `vendor/README.md`.
+//!
+//! Semantics: each `#[test]` runs `cases` deterministic pseudo-random
+//! cases (seeded from the test name and case index, so failures
+//! reproduce). There is **no shrinking** — on failure the panic message
+//! carries the case number, and `PROPTEST_CASES=1`-style bisection plus
+//! the deterministic seed stand in for it.
+//!
+//! Case-count resolution, in priority order:
+//! 1. `PROPTEST_CASES` environment variable, if set;
+//! 2. `cases * FULL_SCALE` when `FULL_SCALE` (an integer multiplier) is
+//!    set — the workspace-wide "run the long version" knob;
+//! 3. the `cases` field of [`ProptestConfig`] (default 32).
+
+use std::marker::PhantomData;
+
+/// The items `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Strategy, Union};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{any, Arbitrary, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub mod test_runner {
+    //! Deterministic case generation.
+
+    /// Splitmix64-based RNG used to generate test cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from an explicit seed.
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed ^ 0x5DEE_CE66_D1CE_4E5B }
+        }
+
+        /// Deterministic per-(test, case) seed: failures reproduce across
+        /// runs without recording anything.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            Self::new(h.wrapping_add(case as u64))
+        }
+
+        /// Next uniform 64-bit value.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        #[inline]
+        pub fn next_f64(&mut self) -> f64 {
+            ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[0, bound)`; `bound` must be non-zero.
+        #[inline]
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+/// Run-time configuration. Only `cases` is honoured; the struct exists so
+/// `ProptestConfig { cases: N, ..ProptestConfig::default() }` compiles
+/// unchanged against the real crate.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property (before env overrides).
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// Applies the `PROPTEST_CASES` / `FULL_SCALE` environment knobs to
+    /// the configured case count (see crate docs for precedence).
+    pub fn resolved_cases(&self) -> u32 {
+        let env_u32 = |name: &str| {
+            std::env::var(name).ok().and_then(|v| v.parse::<u32>().ok())
+        };
+        if let Some(n) = env_u32("PROPTEST_CASES") {
+            return n.max(1);
+        }
+        if let Some(scale) = env_u32("FULL_SCALE") {
+            return self.cases.saturating_mul(scale.max(1));
+        }
+        self.cases
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; a
+    /// strategy is just a deterministic function of the RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among same-valued strategies ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `arms` must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+/// Types with a canonical "any value" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        // Finite, roughly unit-scale values; tests use these as fractions.
+        rng.next_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Admissible length specifications for [`vec`].
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below(self.size.hi - self.size.lo);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests. Subset of the real macro: optional
+/// `#![proptest_config(..)]` header, then `#[test]` functions whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = { $cfg }; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = { $crate::ProptestConfig::default() }; $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = { $cfg:expr };) => {};
+    (cfg = { $cfg:expr };
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __cases = __config.resolved_cases();
+            for __case in 0..__cases {
+                let __run = || {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                };
+                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                    eprintln!(
+                        "proptest: property `{}` failed at case {}/{} (deterministic seed; \
+                         rerun reproduces it)",
+                        stringify!($name), __case + 1, __cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_body! { cfg = { $cfg }; $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let strat = (1..10u64, 0..3usize).prop_map(|(a, b)| a * 10 + b as u64);
+        for _ in 0..1000 {
+            let v = strat.generate(&mut rng);
+            let (a, b) = (v / 10, v % 10);
+            assert!((1..10).contains(&a));
+            assert!(b < 3);
+        }
+    }
+
+    #[test]
+    fn union_uses_every_arm() {
+        let mut rng = TestRng::new(2);
+        let strat = prop_oneof![
+            (0..1u64).prop_map(|_| 0u8),
+            (0..1u64).prop_map(|_| 1u8),
+            (0..1u64).prop_map(|_| 2u8),
+        ];
+        let mut seen = [false; 3];
+        for _ in 0..256 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = TestRng::new(3);
+        let strat = crate::collection::vec(0..5u64, 2..7);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        #[test]
+        fn the_macro_itself_runs(xs in crate::collection::vec(0..100u64, 1..20), flip in any::<bool>()) {
+            prop_assert!(xs.len() < 20);
+            let doubled: Vec<u64> = xs.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            if flip {
+                prop_assert_ne!(doubled.iter().sum::<u64>(), 1 + 2 * xs.iter().sum::<u64>());
+            }
+        }
+    }
+}
