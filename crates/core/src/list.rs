@@ -404,6 +404,25 @@ impl LinkedList {
         recover_chain(&self.ops, self.head_link, flusher)
     }
 
+    /// §5.5 first-approach oracle: is the node at exactly `addr` linked
+    /// (and live) in the list? Key search plus address identity, like the
+    /// other structures' oracles.
+    pub fn contains_node_at(&self, addr: usize) -> bool {
+        let key = key_at(&self.ops, addr);
+        let mut curr = addr_of(self.ops.load(self.head_link));
+        while curr != 0 {
+            let w = self.ops.load(next_addr(curr));
+            if curr == addr {
+                return !is_deleted(w);
+            }
+            if key_at(&self.ops, curr) > key {
+                return false;
+            }
+            curr = addr_of(w);
+        }
+        false
+    }
+
     /// Reachability set for [`NvDomain::recover_leaks`] (§5.5 second
     /// approach: one traversal, then set membership per allocated slot).
     pub fn collect_reachable(&self) -> HashSet<usize> {

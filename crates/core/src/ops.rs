@@ -19,7 +19,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use linkcache::{LinkCache, TryLink};
-use pmem::{Flusher, Mode, PmemPool};
+use pmem::{CrashEvent, Flusher, Mode, PmemPool};
 
 use crate::marked::{clean, is_dirty, DIRTY};
 
@@ -114,6 +114,9 @@ impl LinkOps {
                 Err(_) => CasOutcome::Retry,
             };
         }
+        // Crash-point taxonomy: a state-changing link publish is about to
+        // be attempted (no-op unless a crashtest plan is installed).
+        flusher.note_crash_event(CrashEvent::LinkPublish);
         if let Some(lc) = &self.lc {
             match lc.try_link_and_add(key, addr, old, new) {
                 TryLink::Added => return CasOutcome::Ok,

@@ -1,0 +1,527 @@
+//! The crash-point drivers: single-threaded exhaustive enumeration and
+//! the multi-threaded quiesce-and-crash torture mode.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use pmem::{CrashEvent, CrashPlan, Mode, PmemPool, PoolBuilder};
+
+use crate::oracle::{validate, OracleConfig, Violation};
+use crate::target::CrashTarget;
+use crate::trace::{gen_trace, xorshift, OpMix, TraceOp};
+
+/// Configuration of a single-threaded crash-point enumeration.
+#[derive(Debug, Clone)]
+pub struct CrashConfig {
+    /// Trace seed (reported with every violation).
+    pub seed: u64,
+    /// Operations per trace.
+    pub trace_len: usize,
+    /// Keys are drawn from `1..=key_range`.
+    pub key_range: u64,
+    /// Pool size in MiB (small: every replay allocates a fresh pool).
+    pub pool_mb: usize,
+    /// Attach a link cache (switches the oracle to cache-relaxed mode).
+    pub use_link_cache: bool,
+    /// Replay at most this many crash points (seeded stratified sample);
+    /// `None` replays every event index.
+    pub sample: Option<usize>,
+    /// Operation mix of the generated trace.
+    pub mix: OpMix,
+}
+
+impl CrashConfig {
+    /// The default small-instance configuration: a 64-op update-heavy
+    /// trace over 24 keys, exhaustive unless `CRASHTEST_SAMPLE` caps it.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            trace_len: 64,
+            key_range: 24,
+            pool_mb: 2,
+            use_link_cache: false,
+            sample: crate::sample_from_env(),
+            mix: OpMix::default(),
+        }
+    }
+}
+
+/// Outcome of a crash-point enumeration run.
+#[derive(Debug)]
+pub struct CrashReport {
+    /// Target name.
+    pub target: &'static str,
+    /// Trace seed.
+    pub seed: u64,
+    /// Total persist-relevant events in the trace (= crash points).
+    pub total_events: u64,
+    /// Event taxonomy: `(clwbs, fences, link publishes)`.
+    pub event_kinds: (u64, u64, u64),
+    /// Crash points actually replayed (less than `total_events` when
+    /// sampled).
+    pub points_tested: usize,
+    /// Every violation found, across all crash points.
+    pub violations: Vec<Violation>,
+}
+
+impl CrashReport {
+    /// Panics with a reproduction recipe if any crash point failed.
+    pub fn assert_clean(&self) {
+        if self.violations.is_empty() {
+            return;
+        }
+        for v in &self.violations {
+            eprintln!("crashtest[{}]: {v}", self.target);
+        }
+        panic!(
+            "crashtest[{}]: {} violation(s) across {} crash points; reproduce with \
+             CRASHTEST_SEED={} (failing event indices above)",
+            self.target,
+            self.violations.len(),
+            self.points_tested,
+            self.seed
+        );
+    }
+}
+
+fn new_pool(cfg: &CrashConfig) -> Arc<PmemPool> {
+    PoolBuilder::new(cfg.pool_mb << 20).mode(Mode::CrashSim).build()
+}
+
+/// Runs the trace once over a fresh target on `pool` under `plan`,
+/// returning the event-counter value at every op boundary
+/// (`spans[i]` = events before op `i`; `spans[len]` = total).
+fn run_trace<T: CrashTarget>(
+    cfg: &CrashConfig,
+    pool: &Arc<PmemPool>,
+    plan: &Arc<CrashPlan>,
+    trace: &[TraceOp],
+) -> Vec<u64> {
+    // The skip list's tower-height RNG is thread-local and would
+    // otherwise drift between the count and replay phases.
+    logfree::skiplist::reset_height_rng(cfg.seed);
+    let target = T::create(pool, cfg.use_link_cache);
+    pool.install_crash_plan(Arc::clone(plan));
+    let mut ctx = target.domain().register();
+    let mut spans = Vec::with_capacity(trace.len() + 1);
+    spans.push(plan.events());
+    for &op in trace {
+        target.apply(&mut ctx, op);
+        spans.push(plan.events());
+    }
+    pool.clear_crash_plan();
+    spans
+}
+
+/// Phase 1: counts the total number of persist-relevant events in the
+/// configured trace and records per-op spans. Returns the plan (event
+/// totals + taxonomy), the spans, and the trace itself — `crash_at` must
+/// be driven with exactly this `(trace, spans)` pair.
+pub fn count_events<T: CrashTarget>(
+    cfg: &CrashConfig,
+) -> (Arc<CrashPlan>, Vec<u64>, Vec<TraceOp>) {
+    let trace = gen_trace(cfg.seed, cfg.trace_len, cfg.key_range, cfg.mix);
+    let pool = new_pool(cfg);
+    let plan = CrashPlan::count_only();
+    let spans = run_trace::<T>(cfg, &pool, &plan, &trace);
+    (plan, spans, trace)
+}
+
+/// Phase 2 for one crash point: replays the trace, captures the durable
+/// image immediately before event `k`, crashes to it, recovers, and
+/// validates. `spans` must come from the count phase of the same config.
+pub fn crash_at<T: CrashTarget>(
+    cfg: &CrashConfig,
+    trace: &[TraceOp],
+    spans: &[u64],
+    k: u64,
+) -> Vec<Violation> {
+    let pool = new_pool(cfg);
+    let image: Arc<Mutex<Option<Vec<u64>>>> = Arc::new(Mutex::new(None));
+    let plan = CrashPlan::fire_at(k, {
+        let pool = Arc::clone(&pool);
+        let image = Arc::clone(&image);
+        Box::new(move || {
+            *image.lock().expect("image cell poisoned") =
+                Some(pool.capture_crash_image().expect("crash-sim pool"));
+        })
+    });
+    let replay_spans = run_trace::<T>(cfg, &pool, &plan, trace);
+
+    let mut violations = Vec::new();
+    if replay_spans != spans {
+        violations.push(Violation {
+            seed: cfg.seed,
+            crash_point: k,
+            key: 0,
+            got: None,
+            allowed: vec![],
+            detail: format!(
+                "nondeterministic replay: op spans diverged from the count phase \
+                 (count total {}, replay total {})",
+                spans.last().unwrap_or(&0),
+                replay_spans.last().unwrap_or(&0)
+            ),
+        });
+        return violations;
+    }
+    // `k` past the end of the trace means "crash after completion".
+    let img = image
+        .lock()
+        .expect("image cell poisoned")
+        .take()
+        .unwrap_or_else(|| pool.capture_crash_image().expect("crash-sim pool"));
+    // SAFETY: the trace runs on this thread and has finished; no other
+    // thread touches the pool.
+    unsafe { pool.crash_to_image(&img).expect("crash-sim pool") };
+
+    let (target, _report) = T::recover(&pool);
+    let recovered: BTreeMap<u64, u64> = target.snapshot().into_iter().collect();
+    let cfg_oracle = OracleConfig { upsert: T::UPSERT, relaxed: cfg.use_link_cache };
+    violations.extend(validate(cfg.seed, trace, spans, k, &recovered, cfg_oracle));
+
+    // §5.5: after leak recovery no allocated slot may be unreachable.
+    let leaked = target.domain().count_unreachable(|addr| target.reachable(addr));
+    if leaked != 0 {
+        violations.push(Violation {
+            seed: cfg.seed,
+            crash_point: k,
+            key: 0,
+            got: None,
+            allowed: vec![],
+            detail: format!("{leaked} allocated-but-unreachable slot(s) after recover_leaks"),
+        });
+    }
+    violations
+}
+
+/// Seeded stratified selection of up to `sample` points from `0..total`:
+/// one uniform draw per stratum, so no event range is skipped entirely.
+fn select_points(total: u64, sample: Option<usize>, seed: u64) -> Vec<u64> {
+    match sample {
+        Some(s) if (s as u64) < total => {
+            let s = s as u64;
+            let mut x = seed | 1;
+            (0..s)
+                .map(|i| {
+                    let lo = i * total / s;
+                    let hi = ((i + 1) * total / s).max(lo + 1);
+                    lo + xorshift(&mut x) % (hi - lo)
+                })
+                .collect()
+        }
+        _ => (0..total).collect(),
+    }
+}
+
+/// The full enumeration: count, then crash at every selected event index
+/// (plus the post-completion point), recovering and validating each time.
+pub fn run_crash_points<T: CrashTarget>(cfg: &CrashConfig) -> CrashReport {
+    let (count_plan, spans, trace) = count_events::<T>(cfg);
+    let total = count_plan.events();
+    let mut points = select_points(total, cfg.sample, cfg.seed);
+    // Always include the crash-after-completion point.
+    points.push(total);
+
+    let mut violations = Vec::new();
+    for &k in &points {
+        violations.extend(crash_at::<T>(cfg, &trace, &spans, k));
+    }
+    CrashReport {
+        target: T::NAME,
+        seed: cfg.seed,
+        total_events: total,
+        event_kinds: (
+            count_plan.kind_count(CrashEvent::Clwb),
+            count_plan.kind_count(CrashEvent::Fence),
+            count_plan.kind_count(CrashEvent::LinkPublish),
+        ),
+        points_tested: points.len(),
+        violations,
+    }
+}
+
+/// Configuration of the multi-threaded quiesce-and-crash mode.
+#[derive(Debug, Clone)]
+pub struct TortureConfig {
+    /// Workload seed.
+    pub seed: u64,
+    /// Worker threads (each owns a disjoint key range).
+    pub threads: usize,
+    /// Operations per worker.
+    pub ops_per_thread: u64,
+    /// Keys per worker's private range.
+    pub keys_per_thread: u64,
+    /// Pool size in MiB.
+    pub pool_mb: usize,
+    /// Attach a link cache. The multi-threaded audit only supports the
+    /// strict oracle, so this must currently stay `false`.
+    pub use_link_cache: bool,
+}
+
+impl TortureConfig {
+    /// A small smoke-test configuration.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            threads: 4,
+            ops_per_thread: 2_000,
+            keys_per_thread: 300,
+            pool_mb: 64,
+            use_link_cache: false,
+        }
+    }
+}
+
+/// Outcome of a quiesce-and-crash run.
+#[derive(Debug)]
+pub struct TortureReport {
+    /// Target name.
+    pub target: &'static str,
+    /// Workload seed.
+    pub seed: u64,
+    /// Event index the crash image was captured at (None: the plan never
+    /// fired and the image was captured after completion).
+    pub crash_event: Option<u64>,
+    /// Keys whose pre-capture completed state was checked.
+    pub audited: u64,
+    /// Durable-linearizability violations found.
+    pub violations: u64,
+    /// Leaked nodes reclaimed by recovery.
+    pub leaks_freed: u64,
+    /// Allocated-but-unreachable slots remaining *after* recovery
+    /// (must be 0).
+    pub leaked_after_recovery: u64,
+}
+
+impl TortureReport {
+    /// Panics with a reproduction recipe if the audit failed — or if the
+    /// run never actually crashed mid-flight (a no-crash audit proves
+    /// nothing, so silent degradation is an error too).
+    pub fn assert_clean(&self) {
+        assert!(
+            self.crash_event.is_some(),
+            "crashtest[{}]: the crash plan never fired mid-run (workload too small?); \
+             reproduce with CRASHTEST_SEED={}",
+            self.target,
+            self.seed
+        );
+        assert!(
+            self.violations == 0 && self.leaked_after_recovery == 0,
+            "crashtest[{}]: {} violation(s), {} leak(s) after recovery at crash event {:?}; \
+             reproduce with CRASHTEST_SEED={}",
+            self.target,
+            self.violations,
+            self.leaked_after_recovery,
+            self.crash_event,
+            self.seed
+        );
+    }
+}
+
+/// A completed update, recorded by its worker *after* the operation
+/// returned: `(key, state the key was left in)`.
+type DoneLog = Vec<(u64, Option<u64>)>;
+
+fn torture_worker<T: CrashTarget>(
+    target: &T,
+    cfg: &TortureConfig,
+    tid: u64,
+    log: &Mutex<DoneLog>,
+) {
+    let mut ctx = target.domain().register();
+    let base = 1 + tid * cfg.keys_per_thread;
+    // `.max(1)`: xorshift state must never be zero, whatever the seed.
+    let mut x = (cfg.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tid + 1)).max(1);
+    for _ in 0..cfg.ops_per_thread {
+        let r = xorshift(&mut x) % 100;
+        let key = base + xorshift(&mut x) % cfg.keys_per_thread.max(1);
+        let op = if r < 45 {
+            TraceOp::Insert(key, xorshift(&mut x) & 0xFFFF)
+        } else if r < 80 {
+            TraceOp::Remove(key)
+        } else {
+            TraceOp::Get(key)
+        };
+        let changed = target.apply(&mut ctx, op);
+        if changed {
+            let state = match op {
+                TraceOp::Insert(_, v) => Some(v),
+                TraceOp::Remove(_) => None,
+                TraceOp::Get(_) => unreachable!("lookups never report a change"),
+            };
+            log.lock().expect("done log poisoned").push((key, state));
+        }
+    }
+    ctx.drain_all();
+}
+
+/// Multi-threaded quiesce-and-crash: workers hammer the structure while
+/// a crash plan fires mid-run at a seeded event index, capturing the
+/// audit horizon (per-thread completed-op counts) and the durable image
+/// in one cut. Workers then run to completion (quiesce), the pool
+/// crashes to the captured image, and recovery is audited: every update
+/// completed before the horizon must be reflected, keys touched later
+/// are exempt (their in-flight ops may legitimately have landed either
+/// way).
+///
+/// The crash point is drawn from a count-phase estimate; since the
+/// multi-threaded event total is not deterministic, the run is retried
+/// with a halved crash point if the plan did not fire. A report whose
+/// `crash_event` is still `None` fails [`TortureReport::assert_clean`].
+pub fn run_torture<T: CrashTarget>(cfg: &TortureConfig) -> TortureReport {
+    assert!(!cfg.use_link_cache, "the multi-threaded audit needs the strict oracle");
+    // Phase 1: estimate the total event count for this workload so the
+    // crash point can land mid-run (the interleaving is not
+    // deterministic, but the magnitude is stable).
+    let est_total = {
+        let pool = PoolBuilder::new(cfg.pool_mb << 20).mode(Mode::CrashSim).build();
+        let target = T::create(&pool, cfg.use_link_cache);
+        let plan = CrashPlan::count_only();
+        pool.install_crash_plan(Arc::clone(&plan));
+        let logs: Vec<Mutex<DoneLog>> = (0..cfg.threads).map(|_| Mutex::new(Vec::new())).collect();
+        std::thread::scope(|s| {
+            for (t, log) in logs.iter().enumerate() {
+                let target = &target;
+                s.spawn(move || torture_worker(target, cfg, t as u64, log));
+            }
+        });
+        pool.clear_crash_plan();
+        plan.events()
+    };
+
+    // Phase 2: crash at a seeded point in the middle half of the run.
+    // Halve the target and retry if the plan missed (the rerun emitted
+    // fewer events than the estimate).
+    let mut x = cfg.seed | 1;
+    let mut crash_at = est_total / 4 + xorshift(&mut x) % (est_total / 2).max(1);
+    loop {
+        let report = torture_once::<T>(cfg, crash_at);
+        if report.crash_event.is_some() || crash_at == 0 {
+            return report;
+        }
+        crash_at /= 2;
+    }
+}
+
+/// One quiesce-and-crash attempt at a fixed crash point (see
+/// [`run_torture`]).
+fn torture_once<T: CrashTarget>(cfg: &TortureConfig, crash_at: u64) -> TortureReport {
+    let pool = PoolBuilder::new(cfg.pool_mb << 20).mode(Mode::CrashSim).build();
+    let target = T::create(&pool, cfg.use_link_cache);
+    let logs: Arc<Vec<Mutex<DoneLog>>> =
+        Arc::new((0..cfg.threads).map(|_| Mutex::new(Vec::new())).collect());
+    type Captured = (Vec<usize>, Vec<u64>);
+    let captured: Arc<Mutex<Option<Captured>>> = Arc::new(Mutex::new(None));
+    let plan = CrashPlan::fire_at(crash_at, {
+        let pool = Arc::clone(&pool);
+        let logs = Arc::clone(&logs);
+        let captured = Arc::clone(&captured);
+        Box::new(move || {
+            // Horizon first, then the image: any op whose completion was
+            // already visible in a log is durably owed to the user.
+            let horizon: Vec<usize> =
+                logs.iter().map(|l| l.lock().expect("done log poisoned").len()).collect();
+            let img = pool.capture_crash_image().expect("crash-sim pool");
+            *captured.lock().expect("capture cell poisoned") = Some((horizon, img));
+        })
+    });
+    pool.install_crash_plan(Arc::clone(&plan));
+    std::thread::scope(|s| {
+        for (t, log) in logs.iter().enumerate() {
+            let target = &target;
+            s.spawn(move || torture_worker(target, cfg, t as u64, log));
+        }
+    });
+    pool.clear_crash_plan();
+    let fired = plan.fired();
+    let (horizon, img) = captured.lock().expect("capture cell poisoned").take().unwrap_or_else(
+        || {
+            // The second run had fewer events than estimated: crash after
+            // completion instead (full horizon).
+            let horizon =
+                logs.iter().map(|l| l.lock().expect("done log poisoned").len()).collect();
+            (horizon, pool.capture_crash_image().expect("crash-sim pool"))
+        },
+    );
+    drop(target);
+    // SAFETY: all workers joined above; no other thread uses the pool.
+    unsafe { pool.crash_to_image(&img).expect("crash-sim pool") };
+
+    let (recovered_target, report) = T::recover(&pool);
+    let recovered: BTreeMap<u64, u64> = recovered_target.snapshot().into_iter().collect();
+
+    let mut audited = 0u64;
+    let mut violations = 0u64;
+    for (t, log_cell) in logs.iter().enumerate() {
+        let log = log_cell.lock().expect("done log poisoned");
+        let mut expect: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+        for &(key, state) in &log[..horizon[t]] {
+            expect.insert(key, state);
+        }
+        let exempt: std::collections::BTreeSet<u64> =
+            log[horizon[t]..].iter().map(|&(key, _)| key).collect();
+        for (key, want) in expect {
+            if exempt.contains(&key) {
+                continue;
+            }
+            audited += 1;
+            let got = recovered.get(&key).copied();
+            if got != want {
+                violations += 1;
+                eprintln!(
+                    "crashtest[{}] torture (seed={}): key {key}: completed state {want:?}, \
+                     recovered {got:?}",
+                    T::NAME,
+                    cfg.seed
+                );
+            }
+        }
+    }
+    let leaked_after_recovery =
+        recovered_target.domain().count_unreachable(|addr| recovered_target.reachable(addr));
+    TortureReport {
+        target: T::NAME,
+        seed: cfg.seed,
+        crash_event: fired.then_some(crash_at),
+        audited,
+        violations,
+        leaks_freed: report.leaks_freed,
+        leaked_after_recovery,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::select_points;
+
+    #[test]
+    fn exhaustive_when_unsampled_or_small() {
+        assert_eq!(select_points(5, None, 1), vec![0, 1, 2, 3, 4]);
+        assert_eq!(select_points(5, Some(5), 1), vec![0, 1, 2, 3, 4]);
+        assert_eq!(select_points(5, Some(50), 1), vec![0, 1, 2, 3, 4]);
+        assert!(select_points(0, None, 1).is_empty());
+    }
+
+    #[test]
+    fn sample_is_stratified_in_bounds_and_seeded() {
+        let total = 1000;
+        let picks = select_points(total, Some(10), 7);
+        assert_eq!(picks.len(), 10);
+        for (i, &p) in picks.iter().enumerate() {
+            let (lo, hi) = (i as u64 * 100, (i as u64 + 1) * 100);
+            assert!((lo..hi).contains(&p), "pick {p} outside stratum {i}");
+        }
+        assert_eq!(picks, select_points(total, Some(10), 7), "seeded: reproducible");
+        assert_ne!(picks, select_points(total, Some(10), 8), "seeded: seed-sensitive");
+    }
+
+    #[test]
+    fn sample_covers_ragged_strata() {
+        // total not divisible by the sample: every stratum still non-empty.
+        let picks = select_points(7, Some(3), 42);
+        assert_eq!(picks.len(), 3);
+        assert!(picks.windows(2).all(|w| w[0] < w[1]), "strata are ordered and disjoint");
+        assert!(picks.iter().all(|&p| p < 7));
+    }
+}

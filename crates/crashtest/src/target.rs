@@ -1,0 +1,187 @@
+//! The [`CrashTarget`] abstraction: everything the drivers need to crash
+//! and recover a structure, implemented for all four log-free structures
+//! and NV-Memcached.
+
+use std::sync::Arc;
+
+use linkcache::LinkCache;
+use logfree::{marked::DIRTY, Bst, HashTable, LinkOps, LinkedList, SkipList};
+use nvalloc::{NvDomain, RecoveryReport, ThreadCtx};
+use nvmemcached::NvMemcached;
+use pmem::PmemPool;
+
+use crate::trace::TraceOp;
+
+/// Root-directory slot used by the structure targets.
+pub const CRASHTEST_ROOT: usize = 1;
+
+/// Hash-table bucket count used by the table-based targets (small, so
+/// short traces still produce per-bucket chains).
+pub const N_BUCKETS: usize = 16;
+
+/// A structure the crash-point drivers can create, exercise, crash and
+/// recover.
+///
+/// `create` and `recover` own the whole lifecycle (domain + structure +
+/// post-crash repair) so the drivers stay generic; `recover` must run the
+/// structure's `recover` pass *and* [`NvDomain::recover_leaks`].
+pub trait CrashTarget: Sized + Send + Sync {
+    /// Display name for reports.
+    const NAME: &'static str;
+    /// Whether [`TraceOp::Insert`] replaces an existing value (upsert).
+    const UPSERT: bool = false;
+
+    /// Creates a fresh instance (formats the domain) over `pool`.
+    fn create(pool: &Arc<PmemPool>, use_link_cache: bool) -> Self;
+
+    /// The allocation domain (drivers register worker threads here).
+    fn domain(&self) -> &Arc<NvDomain>;
+
+    /// Applies one trace operation; returns whether it changed the
+    /// structure (insert stored / remove removed), for the
+    /// multi-threaded audit log.
+    fn apply(&self, ctx: &mut ThreadCtx, op: TraceOp) -> bool;
+
+    /// Re-attaches after a crash, repairs the structure, and reclaims
+    /// leaks.
+    fn recover(pool: &Arc<PmemPool>) -> (Self, RecoveryReport);
+
+    /// Quiescent snapshot of live `(key, value)` pairs.
+    fn snapshot(&self) -> Vec<(u64, u64)>;
+
+    /// §5.5 reachability oracle for the leak audit.
+    fn reachable(&self, addr: usize) -> bool;
+}
+
+fn make_ops(pool: &Arc<PmemPool>, use_link_cache: bool) -> LinkOps {
+    let lc = use_link_cache
+        .then(|| Arc::new(LinkCache::with_default_size(Arc::clone(pool), DIRTY)));
+    LinkOps::new(Arc::clone(pool), lc)
+}
+
+/// Generates the four structure targets, which share their shape.
+macro_rules! structure_target {
+    ($target:ident, $name:literal, $structure:ident, $create:expr) => {
+        /// Crash-target wrapper (domain + structure).
+        pub struct $target {
+            domain: Arc<NvDomain>,
+            ds: $structure,
+        }
+
+        impl CrashTarget for $target {
+            const NAME: &'static str = $name;
+
+            fn create(pool: &Arc<PmemPool>, use_link_cache: bool) -> Self {
+                let domain = NvDomain::create(Arc::clone(pool));
+                let ops = make_ops(pool, use_link_cache);
+                #[allow(clippy::redundant_closure_call)]
+                let ds = ($create)(&domain, ops);
+                Self { domain, ds }
+            }
+
+            fn domain(&self) -> &Arc<NvDomain> {
+                &self.domain
+            }
+
+            fn apply(&self, ctx: &mut ThreadCtx, op: TraceOp) -> bool {
+                match op {
+                    TraceOp::Insert(k, v) => {
+                        self.ds.insert(ctx, k, v).expect("pool sized for trace")
+                    }
+                    TraceOp::Remove(k) => self.ds.remove(ctx, k).is_some(),
+                    TraceOp::Get(k) => {
+                        let _ = self.ds.get(ctx, k);
+                        false
+                    }
+                }
+            }
+
+            fn recover(pool: &Arc<PmemPool>) -> (Self, RecoveryReport) {
+                let domain = NvDomain::attach(Arc::clone(pool));
+                let ds = $structure::attach(&domain, CRASHTEST_ROOT, make_ops(pool, false));
+                let mut flusher = pool.flusher();
+                ds.recover(&mut flusher);
+                let report = domain.recover_leaks(|addr| ds.contains_node_at(addr));
+                (Self { domain, ds }, report)
+            }
+
+            fn snapshot(&self) -> Vec<(u64, u64)> {
+                self.ds.snapshot()
+            }
+
+            fn reachable(&self, addr: usize) -> bool {
+                self.ds.contains_node_at(addr)
+            }
+        }
+    };
+}
+
+structure_target!(ListTarget, "LinkedList", LinkedList, |domain: &Arc<NvDomain>, ops| {
+    LinkedList::create(domain, CRASHTEST_ROOT, ops)
+});
+
+structure_target!(HashTarget, "HashTable", HashTable, |domain: &Arc<NvDomain>, ops| {
+    HashTable::create(domain, CRASHTEST_ROOT, N_BUCKETS, ops).expect("pool sized for table")
+});
+
+structure_target!(SkipTarget, "SkipList", SkipList, |domain: &Arc<NvDomain>, ops| {
+    let mut ctx = domain.register();
+    SkipList::create(domain, &mut ctx, CRASHTEST_ROOT, ops).expect("pool sized for skip list")
+});
+
+structure_target!(BstTarget, "Bst", Bst, |domain: &Arc<NvDomain>, ops| {
+    let mut ctx = domain.register();
+    Bst::create(domain, &mut ctx, CRASHTEST_ROOT, ops).expect("pool sized for bst")
+});
+
+/// NV-Memcached as a crash target. `Insert` maps to `set` (upsert),
+/// `Remove` to `delete`. Capacity is effectively unbounded so eviction
+/// never perturbs the oracle.
+pub struct MemcachedTarget {
+    mc: NvMemcached,
+}
+
+/// Soft capacity far above any trace size: eviction must never fire.
+const MC_CAPACITY: usize = 1 << 30;
+
+impl CrashTarget for MemcachedTarget {
+    const NAME: &'static str = "NvMemcached";
+    const UPSERT: bool = true;
+
+    fn create(pool: &Arc<PmemPool>, use_link_cache: bool) -> Self {
+        let mc = NvMemcached::create(Arc::clone(pool), N_BUCKETS, MC_CAPACITY, use_link_cache)
+            .expect("pool sized for cache");
+        Self { mc }
+    }
+
+    fn domain(&self) -> &Arc<NvDomain> {
+        self.mc.domain()
+    }
+
+    fn apply(&self, ctx: &mut ThreadCtx, op: TraceOp) -> bool {
+        match op {
+            TraceOp::Insert(k, v) => {
+                self.mc.set(ctx, k, v).expect("pool sized for trace");
+                true
+            }
+            TraceOp::Remove(k) => self.mc.delete(ctx, k).is_some(),
+            TraceOp::Get(k) => {
+                let _ = self.mc.get(ctx, k);
+                false
+            }
+        }
+    }
+
+    fn recover(pool: &Arc<PmemPool>) -> (Self, RecoveryReport) {
+        let (mc, report) = NvMemcached::recover(Arc::clone(pool), MC_CAPACITY);
+        (Self { mc }, report)
+    }
+
+    fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.mc.snapshot()
+    }
+
+    fn reachable(&self, addr: usize) -> bool {
+        self.mc.contains_node_at(addr)
+    }
+}

@@ -1,0 +1,206 @@
+//! Acceptance tests of the crashtest subsystem itself: exhaustive
+//! crash-point enumeration over every target, determinism of the count
+//! phase, the multi-threaded quiesce-and-crash smoke, and — most
+//! importantly — the mutation test proving a deliberately-omitted flush
+//! is *caught* (a harness that cannot fail proves nothing).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crashtest::{
+    count_events, run_crash_points, run_torture, seed_from_env, BstTarget, CrashConfig,
+    CrashTarget, HashTarget, ListTarget, MemcachedTarget, OpMix, SkipTarget, TortureConfig,
+    TraceOp,
+};
+use nvalloc::{NvDomain, RecoveryReport, ThreadCtx};
+use pmem::PmemPool;
+
+fn cfg() -> CrashConfig {
+    CrashConfig::small(seed_from_env())
+}
+
+#[test]
+fn linked_list_survives_every_crash_point() {
+    run_crash_points::<ListTarget>(&cfg()).assert_clean();
+}
+
+#[test]
+fn hash_table_survives_every_crash_point() {
+    run_crash_points::<HashTarget>(&cfg()).assert_clean();
+}
+
+#[test]
+fn skip_list_survives_every_crash_point() {
+    run_crash_points::<SkipTarget>(&cfg()).assert_clean();
+}
+
+#[test]
+fn bst_survives_every_crash_point() {
+    run_crash_points::<BstTarget>(&cfg()).assert_clean();
+}
+
+#[test]
+fn nv_memcached_survives_every_crash_point() {
+    run_crash_points::<MemcachedTarget>(&cfg()).assert_clean();
+}
+
+#[test]
+fn hash_table_with_link_cache_survives_relaxed() {
+    let mut c = cfg();
+    c.use_link_cache = true;
+    let report = run_crash_points::<HashTarget>(&c);
+    report.assert_clean();
+}
+
+#[test]
+fn count_phase_is_deterministic() {
+    let c = cfg();
+    let (plan_a, spans_a, trace_a) = count_events::<SkipTarget>(&c);
+    let (plan_b, spans_b, trace_b) = count_events::<SkipTarget>(&c);
+    assert_eq!(plan_a.events(), plan_b.events(), "event totals must replay exactly");
+    assert_eq!(spans_a, spans_b, "op spans must replay exactly");
+    assert_eq!(trace_a, trace_b, "traces must regenerate exactly");
+    assert!(plan_a.events() > c.trace_len as u64, "update-heavy trace produces events");
+    // The taxonomy is populated: all three event kinds occur.
+    use pmem::CrashEvent::*;
+    for kind in [Clwb, Fence, LinkPublish] {
+        assert!(plan_a.kind_count(kind) > 0, "no {kind:?} events recorded");
+    }
+}
+
+#[test]
+fn torture_quiesce_and_crash_skiplist() {
+    run_torture::<SkipTarget>(&TortureConfig::small(seed_from_env())).assert_clean();
+}
+
+#[test]
+fn torture_quiesce_and_crash_hash_table() {
+    run_torture::<HashTarget>(&TortureConfig::small(seed_from_env())).assert_clean();
+}
+
+// ---------------------------------------------------------------------
+// Mutation test: a structure whose insert deliberately omits the flush
+// of the published head link. The harness must flag it.
+// ---------------------------------------------------------------------
+
+const KEY_OFF: usize = 0;
+const VAL_OFF: usize = 8;
+const NEXT_OFF: usize = 16;
+const NODE_SIZE: usize = 24;
+const ROOT: usize = 1;
+
+/// A push-front linked list with correct volatile semantics but a broken
+/// durability story: node contents are persisted, the head link is
+/// published with a plain store and **never written back**.
+struct BrokenChain {
+    domain: Arc<NvDomain>,
+    head_link: usize,
+}
+
+impl BrokenChain {
+    fn pool(&self) -> &Arc<PmemPool> {
+        self.domain.pool()
+    }
+
+    fn walk(&self) -> Vec<usize> {
+        let pool = self.pool();
+        let mut out = Vec::new();
+        let mut curr = pool.atomic_u64(self.head_link).load(Ordering::Acquire) as usize;
+        while curr != 0 {
+            out.push(curr);
+            curr = pool.atomic_u64(curr + NEXT_OFF).load(Ordering::Acquire) as usize;
+        }
+        out
+    }
+}
+
+impl CrashTarget for BrokenChain {
+    const NAME: &'static str = "BrokenChain";
+
+    fn create(pool: &Arc<PmemPool>, _use_link_cache: bool) -> Self {
+        let domain = NvDomain::create(Arc::clone(pool));
+        let head_link = pool.start() + ROOT * 8;
+        let mut flusher = pool.flusher();
+        pool.atomic_u64(head_link).store(0, Ordering::Release);
+        flusher.persist(head_link, 8);
+        Self { domain, head_link }
+    }
+
+    fn domain(&self) -> &Arc<NvDomain> {
+        &self.domain
+    }
+
+    fn apply(&self, ctx: &mut ThreadCtx, op: TraceOp) -> bool {
+        let TraceOp::Insert(key, value) = op else {
+            panic!("the mutation trace is insert-only");
+        };
+        let pool = Arc::clone(self.pool());
+        ctx.begin_op();
+        let head = pool.atomic_u64(self.head_link).load(Ordering::Acquire);
+        let exists = self
+            .walk()
+            .iter()
+            .any(|&n| pool.atomic_u64(n + KEY_OFF).load(Ordering::Acquire) == key);
+        let changed = if exists {
+            false
+        } else {
+            let node = ctx.alloc(NODE_SIZE).expect("pool sized");
+            pool.atomic_u64(node + KEY_OFF).store(key, Ordering::Relaxed);
+            pool.atomic_u64(node + VAL_OFF).store(value, Ordering::Relaxed);
+            pool.atomic_u64(node + NEXT_OFF).store(head, Ordering::Release);
+            ctx.flusher.clwb_range(node, NODE_SIZE);
+            ctx.flusher.fence();
+            // THE BUG: the head link is published but never written back;
+            // a crash at any later point silently forgets the insert.
+            pool.atomic_u64(self.head_link).store(node as u64, Ordering::Release);
+            true
+        };
+        ctx.end_op();
+        changed
+    }
+
+    fn recover(pool: &Arc<PmemPool>) -> (Self, RecoveryReport) {
+        let domain = NvDomain::attach(Arc::clone(pool));
+        let head_link = pool.start() + ROOT * 8;
+        let chain = Self { domain, head_link };
+        let live: std::collections::HashSet<usize> = chain.walk().into_iter().collect();
+        let report = chain.domain.recover_leaks(|addr| live.contains(&addr));
+        (chain, report)
+    }
+
+    fn snapshot(&self) -> Vec<(u64, u64)> {
+        let pool = self.pool();
+        self.walk()
+            .into_iter()
+            .map(|n| {
+                (
+                    pool.atomic_u64(n + KEY_OFF).load(Ordering::Acquire),
+                    pool.atomic_u64(n + VAL_OFF).load(Ordering::Acquire),
+                )
+            })
+            .collect()
+    }
+
+    fn reachable(&self, addr: usize) -> bool {
+        self.walk().contains(&addr)
+    }
+}
+
+#[test]
+fn omitted_flush_is_caught() {
+    let mut c = cfg();
+    c.trace_len = 16;
+    c.mix = OpMix { insert_pct: 100, remove_pct: 0 };
+    let report = run_crash_points::<BrokenChain>(&c);
+    assert!(
+        !report.violations.is_empty(),
+        "the harness failed to flag a deliberately-omitted flush"
+    );
+    // Specifically: a completed insert was lost (key-level violation, not
+    // just a leak report).
+    assert!(
+        report.violations.iter().any(|v| v.key != 0 && v.got.is_none()),
+        "expected lost completed inserts, got: {:?}",
+        report.violations
+    );
+}

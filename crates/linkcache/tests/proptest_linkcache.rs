@@ -1,0 +1,160 @@
+//! Property tests for the link cache: `try_link_and_add` / `scan` /
+//! `flush_all` interplay under capacity pressure (many keys hashed into
+//! few buckets, so `CacheFull` fallbacks and mid-stream flushes are
+//! common). Runs are seeded via the workspace `CRASHTEST_SEED` knob
+//! (through the vendored proptest runner).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use linkcache::{LinkCache, TryLink, ENTRIES_PER_BUCKET};
+use pmem::{Mode, PmemPool, PoolBuilder};
+use proptest::prelude::*;
+
+const DIRTY: u64 = 1 << 1;
+
+/// The smallest legal cache: every key maps to one of two buckets, so
+/// capacity pressure is constant.
+const TINY_BUCKETS: usize = 2;
+
+fn crash_pool() -> Arc<PmemPool> {
+    PoolBuilder::new(4 << 20).mode(Mode::CrashSim).build()
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Attempt a cached link update of slot `i` under key `k`.
+    Add { key: u64, slot: usize },
+    /// Scan key `k` (the dependent-operation durability barrier).
+    Scan { key: u64 },
+    /// Flush every bucket (APT-trim / shutdown barrier).
+    FlushAll,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..32u64, 0..256usize).prop_map(|(key, slot)| Step::Add { key, slot }),
+        (0..32u64).prop_map(|key| Step::Scan { key }),
+        (0..4u64).prop_map(|_| Step::FlushAll),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Under any interleaving of adds, scans and flushes on a tiny cache,
+    /// an accepted update followed by `flush_all` is durable, fallbacks
+    /// leave the link word untouched, and stats account for every attempt.
+    #[test]
+    fn capacity_pressure_preserves_durability(
+        steps in proptest::collection::vec(step_strategy(), 1..200)
+    ) {
+        let pool = crash_pool();
+        let lc = LinkCache::new(Arc::clone(&pool), TINY_BUCKETS, DIRTY);
+        let mut f = pool.flusher();
+        let base = pool.heap_start();
+        // Authoritative volatile model: what each slot's link should read.
+        let mut model = vec![0u64; 256];
+        let mut attempts = 0u64;
+        for step in steps {
+            match step {
+                Step::Add { key, slot } => {
+                    attempts += 1;
+                    let addr = base + 8 * slot;
+                    let old = model[slot];
+                    let new = old + 8; // clean word (low bits clear)
+                    match lc.try_link_and_add(key, addr, old, new) {
+                        TryLink::Added => {
+                            model[slot] = new;
+                            let got = pool.atomic_u64(addr).load(Ordering::Relaxed);
+                            prop_assert_eq!(got & !DIRTY, new, "link updated in place");
+                        }
+                        TryLink::CacheFull => {
+                            // The link must be untouched; fall back to
+                            // link-and-persist by hand, as LinkOps does.
+                            let got = pool.atomic_u64(addr).load(Ordering::Relaxed);
+                            prop_assert_eq!(got & !DIRTY, old, "fallback left link alone");
+                            pool.atomic_u64(addr).store(new, Ordering::Release);
+                            f.persist(addr, 8);
+                            model[slot] = new;
+                        }
+                        TryLink::LinkCasFailed => {
+                            // Single-threaded: the expected value is always
+                            // current, so the CAS can never fail.
+                            prop_assert!(false, "spurious LinkCasFailed");
+                        }
+                    }
+                }
+                Step::Scan { key } => lc.scan(key, &mut f),
+                Step::FlushAll => lc.flush_all(&mut f),
+            }
+        }
+        let stats = lc.stats();
+        prop_assert_eq!(stats.adds + stats.fallbacks, attempts, "every attempt accounted");
+        // Durability barrier, then crash: every accepted update survives.
+        lc.flush_all(&mut f);
+        // SAFETY: single-threaded test.
+        unsafe { pool.simulate_crash().unwrap() };
+        for (slot, want) in model.iter().enumerate() {
+            let got = pool.atomic_u64(base + 8 * slot).load(Ordering::Relaxed);
+            prop_assert_eq!(got & !DIRTY, *want, "slot {} durable", slot);
+        }
+    }
+
+    /// A scan of a key whose bucket holds a busy entry for that key makes
+    /// the update durable immediately — no flush_all needed — while the
+    /// cache stays usable (entries freed by the bucket flush).
+    #[test]
+    fn scan_is_a_sufficient_durability_barrier(
+        keys in proptest::collection::vec(0..16u64, 1..40)
+    ) {
+        let pool = crash_pool();
+        let lc = LinkCache::new(Arc::clone(&pool), TINY_BUCKETS, DIRTY);
+        let mut f = pool.flusher();
+        let base = pool.heap_start();
+        let mut scanned: Vec<(usize, u64)> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            let addr = base + 8 * i;
+            match lc.try_link_and_add(key, addr, 0, 64) {
+                TryLink::Added => {
+                    lc.scan(key, &mut f);
+                    scanned.push((addr, 64));
+                }
+                TryLink::CacheFull => {} // fine under pressure; not scanned
+                TryLink::LinkCasFailed => prop_assert!(false, "spurious CAS failure"),
+            }
+        }
+        // SAFETY: single-threaded test.
+        unsafe { pool.simulate_crash().unwrap() };
+        for (addr, want) in scanned {
+            let got = pool.atomic_u64(addr).load(Ordering::Relaxed);
+            prop_assert_eq!(got & !DIRTY, want, "scanned update survived the crash");
+        }
+    }
+
+    /// Overflowing one bucket with adds never loses an accepted entry:
+    /// at most `ENTRIES_PER_BUCKET` are accepted between flushes, and a
+    /// flush frees all of them for reuse.
+    #[test]
+    fn bucket_overflow_is_bounded_and_recoverable(rounds in 1..6usize) {
+        let pool = crash_pool();
+        let lc = LinkCache::new(Arc::clone(&pool), TINY_BUCKETS, DIRTY);
+        let mut f = pool.flusher();
+        let base = pool.heap_start();
+        for round in 0..rounds {
+            let mut accepted = 0;
+            for i in 0..(2 * ENTRIES_PER_BUCKET) {
+                let addr = base + 8 * (round * 2 * ENTRIES_PER_BUCKET + i);
+                // Same key -> same bucket: deliberate pressure.
+                match lc.try_link_and_add(7, addr, 0, 8) {
+                    TryLink::Added => accepted += 1,
+                    TryLink::CacheFull => {}
+                    TryLink::LinkCasFailed => prop_assert!(false, "spurious CAS failure"),
+                }
+            }
+            prop_assert!(accepted <= ENTRIES_PER_BUCKET, "bucket capacity respected");
+            prop_assert!(accepted >= 1, "an empty bucket accepts at least one add");
+            lc.flush_all(&mut f);
+        }
+    }
+}

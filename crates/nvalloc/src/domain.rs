@@ -176,6 +176,30 @@ impl NvDomain {
         apt::clear_all(&self.pool, &mut flusher);
         report
     }
+
+    /// Full-heap leak audit: counts allocated slots whose node is not
+    /// `reachable`. Unlike [`Self::recover_leaks`] it scans *every*
+    /// formatted page (not just the active ones) and frees nothing, so it
+    /// can assert the absence of leaks after a recovery pass — the
+    /// crashtest subsystem requires this to be 0 at every crash point.
+    ///
+    /// Quiescent only: no concurrent allocation or reclamation.
+    pub fn count_unreachable(&self, mut reachable: impl FnMut(usize) -> bool) -> u64 {
+        let mut leaked = 0;
+        for (page, class) in self.heap.pages() {
+            let bitmap = PageHeader::bitmap(&self.pool, page).load(Ordering::Acquire);
+            for i in 0..slots_in_class(class) {
+                if bitmap & (1 << i) == 0 {
+                    continue;
+                }
+                let addr = PageHeader::slot_addr(page, class, i);
+                if !reachable(addr) {
+                    leaked += 1;
+                }
+            }
+        }
+        leaked
+    }
 }
 
 fn full_mask(class: usize) -> u64 {

@@ -200,6 +200,12 @@ impl NvMemcached {
         self.table.ops().flush_link_cache(flusher);
     }
 
+    /// Reachability oracle over the underlying table (§5.5), exposed for
+    /// the crashtest subsystem's post-recovery leak audits.
+    pub fn contains_node_at(&self, addr: usize) -> bool {
+        self.table.contains_node_at(addr)
+    }
+
     /// Quiescent snapshot (test support).
     pub fn snapshot(&self) -> Vec<(u64, u64)> {
         self.table.snapshot()

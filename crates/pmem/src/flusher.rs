@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use crate::crashpoint::{CrashEvent, CrashPlan};
 use crate::pool::{Mode, PmemPool};
 use crate::{line_of, CACHE_LINE};
 
@@ -35,11 +36,31 @@ pub struct Flusher {
     /// Whether any write-back is outstanding (perf mode batch flag).
     batch_open: bool,
     stats: FlushStats,
+    /// Crash-point plan snapshotted at creation; `None` unless a crashtest
+    /// driver installed one on the pool before this flusher was made.
+    plan: Option<Arc<CrashPlan>>,
 }
 
 impl Flusher {
     pub(crate) fn new(pool: Arc<PmemPool>) -> Self {
-        Self { pool, pending: Vec::with_capacity(64), batch_open: false, stats: FlushStats::default() }
+        let plan = pool.crash_plan();
+        Self {
+            pool,
+            pending: Vec::with_capacity(64),
+            batch_open: false,
+            stats: FlushStats::default(),
+            plan,
+        }
+    }
+
+    /// Records a persist-relevant event against the installed crash plan,
+    /// if any. The `LinkPublish` events of the data-structure layer come
+    /// through here too; with no plan installed this is a single branch.
+    #[inline]
+    pub fn note_crash_event(&self, kind: CrashEvent) {
+        if let Some(plan) = &self.plan {
+            plan.note(kind);
+        }
     }
 
     /// The pool this flusher belongs to.
@@ -52,6 +73,7 @@ impl Flusher {
     /// The line is guaranteed durable only after the next [`Self::fence`].
     #[inline]
     pub fn clwb(&mut self, addr: usize) {
+        self.note_crash_event(CrashEvent::Clwb);
         match self.pool.mode() {
             // No instruction would be issued at all: don't count it.
             Mode::Volatile => return,
@@ -86,6 +108,9 @@ impl Flusher {
     /// were outstanding — the paper's "pause once per batch" model (§6.1).
     #[inline]
     pub fn fence(&mut self) {
+        // Crash "at" a fence means the fence never happened: note before
+        // draining, so a plan firing here captures the pre-fence image.
+        self.note_crash_event(CrashEvent::Fence);
         if self.pool.mode() == Mode::Volatile {
             return;
         }
@@ -180,6 +205,40 @@ mod tests {
         f.fence();
         assert_eq!(f.stats().sync_batches, 1);
         assert!(!f.has_pending());
+    }
+
+    #[test]
+    fn installed_plan_counts_events_and_fires() {
+        use crate::crashpoint::{CrashEvent, CrashPlan};
+        let pool = PoolBuilder::new(1 << 20).mode(Mode::CrashSim).build();
+        // A flusher created before installation must stay plan-free.
+        let mut before = pool.flusher();
+        let addr = pool.heap_start();
+        pool.atomic_u64(addr).store(1, Ordering::Relaxed);
+        let plan = CrashPlan::fire_at(2, {
+            let pool = Arc::clone(&pool);
+            Box::new(move || {
+                // Fires at the fence (event 2): the image excludes it.
+                let img = pool.capture_crash_image().unwrap();
+                assert_eq!(img[(pool.heap_start() - pool.start()) / 8], 0);
+            })
+        });
+        pool.install_crash_plan(Arc::clone(&plan));
+        before.clwb(addr + 64);
+        before.fence();
+        assert_eq!(plan.events(), 0, "pre-install flusher emits no events");
+        let mut f = pool.flusher();
+        pool.atomic_u64(addr).store(2, Ordering::Relaxed);
+        f.clwb(addr); // event 0
+        f.note_crash_event(CrashEvent::LinkPublish); // event 1
+        f.fence(); // event 2: plan fires before the drain
+        assert!(plan.fired());
+        assert_eq!(plan.events(), 3);
+        assert_eq!(plan.kind_count(CrashEvent::Clwb), 1);
+        assert_eq!(plan.kind_count(CrashEvent::Fence), 1);
+        assert_eq!(plan.kind_count(CrashEvent::LinkPublish), 1);
+        pool.clear_crash_plan();
+        assert!(pool.crash_plan().is_none());
     }
 
     #[test]

@@ -39,11 +39,13 @@
 //! * [`Mode::CrashSim`] — shadow image + line tracking (Figure 10 and all
 //!   durability/recovery tests).
 
+pub mod crashpoint;
 pub mod flusher;
 pub mod latency;
 pub mod pool;
 pub mod shadow;
 
+pub use crashpoint::{CrashEvent, CrashHook, CrashPlan};
 pub use flusher::{FlushStats, Flusher};
 pub use latency::{LatencyModel, TechLatency, TABLE1};
 pub use pool::{Mode, PmemPool, PoolBuilder};

@@ -2,8 +2,9 @@
 
 use std::alloc::{self, Layout};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use crate::crashpoint::CrashPlan;
 use crate::flusher::Flusher;
 use crate::latency::LatencyModel;
 use crate::shadow::Shadow;
@@ -74,6 +75,9 @@ pub struct PmemPool {
     shadow: Option<Shadow>,
     /// Count of simulated crashes, for tests and harness reporting.
     crashes: AtomicU64,
+    /// Crash-point injection plan (crashtest subsystem). Snapshotted by
+    /// each flusher at creation; `None` on every production path.
+    crash_plan: Mutex<Option<Arc<CrashPlan>>>,
 }
 
 // SAFETY: the pool hands out access to its memory only through atomic or
@@ -108,6 +112,7 @@ impl PmemPool {
             latency,
             shadow,
             crashes: AtomicU64::new(0),
+            crash_plan: Mutex::new(None),
         })
     }
 
@@ -219,6 +224,24 @@ impl PmemPool {
     /// Number of simulated crashes so far.
     pub fn crash_count(&self) -> u64 {
         self.crashes.load(Ordering::Relaxed)
+    }
+
+    /// Installs a crash-point injection plan. Only flushers created
+    /// *after* installation observe it (each flusher snapshots the plan
+    /// once, keeping the per-event check zero-cost when disabled).
+    pub fn install_crash_plan(&self, plan: Arc<CrashPlan>) {
+        *self.crash_plan.lock().expect("crash-plan lock poisoned") = Some(plan);
+    }
+
+    /// Removes the installed crash plan (flushers created afterwards —
+    /// e.g. by recovery — see no plan).
+    pub fn clear_crash_plan(&self) {
+        *self.crash_plan.lock().expect("crash-plan lock poisoned") = None;
+    }
+
+    /// The currently installed crash plan, if any.
+    pub fn crash_plan(&self) -> Option<Arc<CrashPlan>> {
+        self.crash_plan.lock().expect("crash-plan lock poisoned").clone()
     }
 
     /// Simulates a power failure followed by a reboot: the working memory

@@ -1,152 +1,37 @@
-//! Durable-linearizability torture test: concurrent updaters on a skip
-//! list, crash images captured mid-run, and a full audit that every
-//! operation which *completed* before each image was captured is
-//! reflected in the recovered structure.
+//! Durable-linearizability torture test, now a thin driver over the
+//! `crashtest` subsystem: concurrent updaters on a skip list, a crash
+//! plan that fires at a seeded persist-event index mid-run (capturing
+//! the audit horizon and the durable image in one cut), then recovery
+//! and a full audit that every operation which *completed* before the
+//! capture is reflected in the recovered structure.
 //!
 //! ```sh
 //! cargo run --release --example crash_torture
+//! CRASHTEST_SEED=7 cargo run --release --example crash_torture
 //! ```
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-
-use nvram_logfree::prelude::*;
-
-const THREADS: u64 = 4;
-const OPS_PER_THREAD: u64 = 5_000;
-const ROOT: usize = 2;
-
-/// A completed update, recorded *after* the operation returned.
-#[derive(Clone, Copy, Debug)]
-enum Done {
-    Inserted(u64, u64),
-    Removed(u64),
-}
+use crashtest::{run_torture, seed_from_env, SkipTarget, TortureConfig};
 
 fn main() {
-    let pool = PoolBuilder::new(256 << 20).mode(Mode::CrashSim).build();
-    let domain = NvDomain::create(Arc::clone(&pool));
-    let mut ctx0 = domain.register();
-    let list =
-        SkipList::create(&domain, &mut ctx0, ROOT, LinkOps::new(Arc::clone(&pool), None))
-            .expect("pool large enough");
-    drop(ctx0);
-
-    // Each thread owns a disjoint key range so the audit can replay each
-    // thread's completed updates in order.
-    let completed: Vec<Mutex<Vec<Done>>> = (0..THREADS).map(|_| Mutex::new(Vec::new())).collect();
-    let snap_taken = AtomicBool::new(false);
-    let image: Mutex<Option<(Vec<u64>, Vec<usize>)>> = Mutex::new(None);
-
-    std::thread::scope(|s| {
-        for t in 0..THREADS {
-            let domain = Arc::clone(&domain);
-            let list = &list;
-            let completed = &completed;
-            s.spawn(move || {
-                let mut ctx = domain.register();
-                let base = 1 + t * 1_000_000;
-                let mut x = 0x1234_5678u64.wrapping_mul(t + 1) | 1;
-                for _ in 0..OPS_PER_THREAD {
-                    x ^= x << 13;
-                    x ^= x >> 7;
-                    x ^= x << 17;
-                    let k = base + (x % 500);
-                    if x & (1 << 20) == 0 {
-                        if list.insert(&mut ctx, k, t).expect("pool sized") {
-                            completed[t as usize].lock().unwrap().push(Done::Inserted(k, t));
-                        }
-                    } else if list.remove(&mut ctx, k).is_some() {
-                        completed[t as usize].lock().unwrap().push(Done::Removed(k));
-                    }
-                }
-                ctx.drain_all();
-            });
-        }
-        // The "power supervisor": captures a crash image mid-run. Every
-        // update recorded in `completed` *before* the capture must be in
-        // the recovered state; in-flight ops may or may not be.
-        let pool2 = Arc::clone(&pool);
-        let completed_ref = &completed;
-        let image_ref = &image;
-        let snap_ref = &snap_taken;
-        s.spawn(move || {
-            std::thread::sleep(std::time::Duration::from_millis(30));
-            // Record the audit horizon first, then capture: anything that
-            // completed before this point is durably owed to the user.
-            let horizon: Vec<usize> =
-                completed_ref.iter().map(|v| v.lock().unwrap().len()).collect();
-            let img = pool2.capture_crash_image().expect("crash-sim pool");
-            *image_ref.lock().unwrap() = Some((img, horizon));
-            snap_ref.store(true, Ordering::Release);
-        });
-    });
-    assert!(snap_taken.load(Ordering::Acquire), "snapshot thread ran");
-
-    let (img, horizon) = image.lock().unwrap().take().expect("image captured");
-    // SAFETY: all workers joined above.
-    unsafe { pool.crash_to_image(&img).expect("crash-sim pool") };
-
-    let domain = NvDomain::attach(Arc::clone(&pool));
-    let list = SkipList::attach(&domain, ROOT, LinkOps::new(Arc::clone(&pool), None));
-    let mut f = pool.flusher();
-    list.recover(&mut f);
-    let report = domain.recover_leaks(|a| list.contains_node_at(a));
-
-    // Audit: replay each thread's pre-horizon completions; every key's
-    // final pre-horizon state must be reflected (later in-flight ops may
-    // legitimately differ, so only check keys whose last completed op is
-    // before the horizon and which no in-flight op touched after it —
-    // with per-thread key ownership, the last completed op per key is
-    // decisive unless that thread had a later in-flight op on the key;
-    // checking "present implies inserted at some point" plus the strict
-    // prefix state gives a sound audit).
-    let recovered: HashMap<u64, u64> = list.snapshot().into_iter().collect();
-    let mut checked = 0u64;
-    let mut violations = 0u64;
-    for t in 0..THREADS as usize {
-        let log = completed[t].lock().unwrap();
-        let prefix = &log[..horizon[t]];
-        // Final completed state per key within the horizon.
-        let mut expect: HashMap<u64, Option<u64>> = HashMap::new();
-        for d in prefix {
-            match *d {
-                Done::Inserted(k, v) => {
-                    expect.insert(k, Some(v));
-                }
-                Done::Removed(k) => {
-                    expect.insert(k, None);
-                }
-            }
-        }
-        // Keys touched by this thread after the horizon are exempt (an
-        // in-flight or later op may have changed them legitimately).
-        let mut exempt: std::collections::HashSet<u64> = std::collections::HashSet::new();
-        for d in &log[horizon[t]..] {
-            match *d {
-                Done::Inserted(k, _) | Done::Removed(k) => {
-                    exempt.insert(k);
-                }
-            }
-        }
-        for (k, want) in expect {
-            if exempt.contains(&k) {
-                continue;
-            }
-            checked += 1;
-            let got = recovered.get(&k).copied();
-            if got != want {
-                violations += 1;
-                eprintln!("VIOLATION: key {k}: completed state {want:?}, recovered {got:?}");
-            }
-        }
-    }
+    let cfg = TortureConfig {
+        seed: seed_from_env(),
+        threads: 4,
+        ops_per_thread: 5_000,
+        keys_per_thread: 500,
+        pool_mb: 256,
+        use_link_cache: false,
+    };
+    let report = run_torture::<SkipTarget>(&cfg);
     println!(
-        "audited {checked} keys across {THREADS} threads: {violations} violations \
-         ({} leaked nodes freed, {} slots scanned)",
-        report.leaks_freed, report.slots_scanned
+        "audited {} keys across {} threads: {} violations (crash at event {:?}, \
+         {} leaked nodes freed, {} unreachable after recovery)",
+        report.audited,
+        cfg.threads,
+        report.violations,
+        report.crash_event,
+        report.leaks_freed,
+        report.leaked_after_recovery,
     );
-    assert_eq!(violations, 0, "durable linearizability violated");
-    println!("ok: recovered state reflects every completed operation");
+    report.assert_clean();
+    println!("ok: recovered state reflects every completed operation (seed {})", report.seed);
 }

@@ -16,6 +16,10 @@
 //! * [`logbased`] — the redo-logged lock-based baselines of §6.2.
 //! * [`nvmemcached`] — **NV-Memcached** (§6.5) and its volatile
 //!   comparison points, plus a memtier-style workload driver.
+//! * `crashtest` (dev) — systematic crash-point injection: enumerates
+//!   every persist-relevant event, crashes there, recovers, and
+//!   validates against an operation oracle (DESIGN.md, "Crash-point
+//!   coverage").
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory,
 //! the experiment index, and the documented deviations from the paper.

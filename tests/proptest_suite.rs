@@ -1,6 +1,11 @@
 //! Property-based tests (proptest): set semantics against a `BTreeMap`
 //! oracle for all four structures, durable linearizability at arbitrary
 //! crash prefixes, allocator soundness, and link-cache invariants.
+//!
+//! Determinism: every case seed mixes in the workspace-wide
+//! `CRASHTEST_SEED` environment knob (shared with the `crashtest`
+//! drivers); failures print the value to rerun with. `PROPTEST_CASES`
+//! scales the case counts.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

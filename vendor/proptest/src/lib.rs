@@ -15,6 +15,12 @@
 //! 2. `cases * FULL_SCALE` when `FULL_SCALE` (an integer multiplier) is
 //!    set — the workspace-wide "run the long version" knob;
 //! 3. the `cases` field of [`ProptestConfig`] (default 32).
+//!
+//! Seeding: the per-(test, case) seed additionally mixes in the
+//! workspace-wide `CRASHTEST_SEED` environment variable (default 0), the
+//! single knob shared with the `crashtest` drivers. Failure messages
+//! print the resolved value so any failing run reproduces with
+//! `CRASHTEST_SEED=<n> cargo test <name>`.
 
 use std::marker::PhantomData;
 
@@ -42,12 +48,14 @@ pub mod test_runner {
         }
 
         /// Deterministic per-(test, case) seed: failures reproduce across
-        /// runs without recording anything.
+        /// runs without recording anything. Mixes in [`env_seed`] so the
+        /// whole workspace is re-rollable from one knob.
         pub fn for_case(test_name: &str, case: u32) -> Self {
             let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
             for b in test_name.bytes() {
                 h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
             }
+            h ^= env_seed().wrapping_mul(0x9E37_79B9_7F4A_7C15);
             Self::new(h.wrapping_add(case as u64))
         }
 
@@ -72,6 +80,15 @@ pub mod test_runner {
         pub fn below(&mut self, bound: usize) -> usize {
             (self.next_u64() % bound as u64) as usize
         }
+    }
+
+    /// The workspace-wide deterministic seed: `CRASHTEST_SEED` from the
+    /// environment, or 0. Parsed once; printed by failure messages.
+    pub fn env_seed() -> u64 {
+        static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+        *SEED.get_or_init(|| {
+            std::env::var("CRASHTEST_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+        })
     }
 }
 
@@ -375,9 +392,10 @@ macro_rules! __proptest_body {
                 };
                 if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
                     eprintln!(
-                        "proptest: property `{}` failed at case {}/{} (deterministic seed; \
-                         rerun reproduces it)",
+                        "proptest: property `{}` failed at case {}/{}; rerun with \
+                         CRASHTEST_SEED={} to reproduce",
                         stringify!($name), __case + 1, __cases,
+                        $crate::test_runner::env_seed(),
                     );
                     ::std::panic::resume_unwind(panic);
                 }
