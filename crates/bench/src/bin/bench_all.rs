@@ -1,0 +1,148 @@
+//! Runs the **entire experiment registry** (Table 1 + Figures 5–11) and
+//! writes the machine-readable `BENCH_results.json` at the current
+//! working directory (the repository root under
+//! `cargo run -p bench --bin bench_all`).
+//!
+//! Sizing follows the usual knobs: CI-sized by default, `FULL=1` for
+//! paper-sized element counts, `SMOKE=1` for a seconds-long smoke run
+//! (what the CI `bench-report` job uses). See BENCHMARKS.md for the
+//! schema and the methodology.
+//!
+//! # Options
+//!
+//! * `--out <file>` — where to write the JSON (default
+//!   `BENCH_results.json`).
+//! * `--baseline <file>` — also compare against a previous
+//!   `BENCH_results.json`: the process exits non-zero if any
+//!   measurement's median throughput dropped by more than the threshold
+//!   relative to the baseline.
+//! * `--threshold <pct>` — regression threshold in percent (default 25).
+//! * `--only <id,id,...>` — run a subset of the registry (ids as in
+//!   `BENCH_results.json`, e.g. `fig5,fig10`).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::report::{compare, render_text, BenchResults, Json};
+use bench::{experiments, RunConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_all [--out <file>] [--baseline <file>] [--threshold <pct>] [--only <id,..>]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_results.json");
+    let mut baseline_path: Option<String> = None;
+    let mut threshold = 25.0f64;
+    let mut only: Option<Vec<String>> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        });
+        match arg.as_str() {
+            "--out" => out_path = value("--out"),
+            "--baseline" => baseline_path = Some(value("--baseline")),
+            "--threshold" => {
+                threshold = value("--threshold").parse().unwrap_or_else(|_| {
+                    eprintln!("--threshold takes a number (percent)");
+                    usage()
+                })
+            }
+            "--only" => {
+                only = Some(value("--only").split(',').map(|s| s.trim().to_string()).collect())
+            }
+            _ => usage(),
+        }
+    }
+
+    if let Some(only) = &only {
+        let known: Vec<&str> = experiments::registry().iter().map(|s| s.id).collect();
+        for id in only {
+            if !known.contains(&id.as_str()) {
+                eprintln!(
+                    "[bench_all] unknown experiment id '{id}' in --only (known: {})",
+                    known.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = RunConfig::from_env();
+    eprintln!(
+        "[bench_all] scale: {}  (REPEATS={} MEASURE_MS={})",
+        if cfg.full {
+            "FULL (paper-sized)"
+        } else if cfg.smoke {
+            "SMOKE"
+        } else {
+            "CI-sized"
+        },
+        cfg.repeats,
+        cfg.measure_ms
+    );
+
+    let mut reports = Vec::new();
+    for spec in experiments::registry() {
+        if let Some(only) = &only {
+            if !only.iter().any(|id| id == spec.id) {
+                continue;
+            }
+        }
+        eprintln!("[bench_all] running {} — {}", spec.id, spec.title);
+        let t = Instant::now();
+        let report = (spec.run)(&cfg);
+        eprintln!("[bench_all] {} done in {:.1}s", spec.id, t.elapsed().as_secs_f64());
+        print!("{}", render_text(&report));
+        println!();
+        reports.push(report);
+    }
+
+    let results = BenchResults::collect(cfg.knobs(), reports);
+    let json_text = results.to_json().render_pretty();
+    if let Err(e) = std::fs::write(&out_path, &json_text) {
+        eprintln!("[bench_all] failed to write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("[bench_all] wrote {out_path}");
+
+    if let Some(baseline_path) = baseline_path {
+        let baseline_text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("[bench_all] cannot read baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match Json::parse(&baseline_text) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("[bench_all] baseline {baseline_path} is not valid JSON: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let current = Json::parse(&json_text).expect("own output is valid JSON");
+        let regressions = compare(&current, &baseline, threshold);
+        if regressions.is_empty() {
+            println!(
+                "[bench_all] no median-throughput regressions > {threshold}% vs {baseline_path}"
+            );
+        } else {
+            eprintln!(
+                "[bench_all] {} median-throughput regression(s) > {threshold}% vs {baseline_path}:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

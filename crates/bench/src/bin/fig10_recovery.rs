@@ -1,100 +1,23 @@
-//! Figure 10: data structure recovery times as a function of size.
+//! **Reproduces Figure 10** of the paper: data structure recovery times
+//! as a function of size.
+//!
+//! Axes: x — structure size; y — recovery time (the `recovery_ns`
+//! metric), with fix-up and leak counts alongside.
 //!
 //! Methodology (§6.4): run updates, stop at an arbitrary point, drop
 //! everything that was not durably written back (our simulated crash is
 //! exactly that), then time the recovery process: bring the structure to
 //! a consistent state + traverse the active pages freeing
-//! allocated-but-unreachable nodes.
+//! allocated-but-unreachable nodes. The paper reports: hash table / BST /
+//! skip list recover in < 5 ms even at 4M elements (identity-search
+//! oracle); the linked list (linear search) uses the
+//! mark-and-sweep-style second approach and recovers a 64K-element list
+//! in ~16 ms.
 //!
-//! The paper reports: hash table / BST / skip list recover in < 5 ms even
-//! at 4M elements (identity-search oracle); the linked list (linear
-//! search) uses the mark-and-sweep-style second approach and recovers a
-//! 64K-element list in ~16 ms.
-
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-use bench::{build, env_u64, full_scale, prefill, run_mixed, DsKind, Flavor};
-use logfree::LinkOps;
-use nvalloc::NvDomain;
-use pmem::{LatencyModel, Mode};
-
-fn measure(kind: DsKind, size: u64) -> (Duration, u64, u64) {
-    let inst = build(kind, Flavor::LogFree, size, Mode::CrashSim, LatencyModel::ZERO);
-    prefill(&inst, size);
-    // Touch the structure so active pages and in-flight deletions exist.
-    let ms = env_u64("CRASH_WORK_MS", 100);
-    let _ = run_mixed(&inst, 2, Duration::from_millis(ms), size, 100, 3);
-    let pool = Arc::clone(&inst.pool);
-    drop(inst);
-    // SAFETY: all workers have been joined by run_mixed.
-    unsafe { pool.simulate_crash().expect("crash-sim pool") };
-
-    let t = Instant::now();
-    let domain = NvDomain::attach(Arc::clone(&pool));
-    let ops = LinkOps::new(Arc::clone(&pool), None);
-    let (fixups, report) = match kind {
-        DsKind::LinkedList => {
-            let ds = logfree::LinkedList::attach(&domain, 1, ops);
-            let mut f = pool.flusher();
-            let (_d, u) = ds.recover(&mut f);
-            // Second approach (§5.5): one traversal + set membership.
-            let reachable = ds.collect_reachable();
-            let report = domain.recover_leaks(|a| reachable.contains(&a));
-            (u, report)
-        }
-        DsKind::HashTable => {
-            let ds = logfree::HashTable::attach(&domain, 1, ops);
-            let mut f = pool.flusher();
-            let (_d, u) = ds.recover(&mut f);
-            let report = domain.recover_leaks(|a| ds.contains_node_at(a));
-            (u, report)
-        }
-        DsKind::SkipList => {
-            let ds = logfree::SkipList::attach(&domain, 1, ops);
-            let mut f = pool.flusher();
-            let (_d, u) = ds.recover(&mut f);
-            let report = domain.recover_leaks(|a| ds.contains_node_at(a));
-            (u, report)
-        }
-        DsKind::Bst => {
-            let ds = logfree::Bst::attach(&domain, 1, ops);
-            let mut f = pool.flusher();
-            let (_d, u) = ds.recover(&mut f);
-            let report = domain.recover_leaks(|a| ds.contains_node_at(a));
-            (u, report)
-        }
-    };
-    (t.elapsed(), fixups, report.leaks_freed)
-}
+//! Thin wrapper over [`bench::experiments::fig10`].
 
 fn main() {
-    println!("== Figure 10: recovery time vs structure size ==");
-    println!(
-        "{:<14} {:>10} {:>14} {:>10} {:>8}",
-        "structure", "size", "recovery (ns)", "fixups", "leaks"
-    );
-    for kind in [DsKind::HashTable, DsKind::Bst, DsKind::SkipList, DsKind::LinkedList] {
-        let mut sizes: Vec<u64> = match kind {
-            DsKind::LinkedList => vec![32, 128, 4096, 65_536],
-            _ => vec![128, 4096, 65_536],
-        };
-        if full_scale() && kind != DsKind::LinkedList {
-            sizes.push(4_194_304);
-        }
-        for size in sizes {
-            let (dur, fixups, leaks) = measure(kind, size);
-            println!(
-                "{:<14} {:>10} {:>14} {:>10} {:>8}",
-                kind.name(),
-                size,
-                dur.as_nanos(),
-                fixups,
-                leaks
-            );
-        }
-    }
-    println!();
-    println!("paper: HT/BST/SL < 5 ms at 4M elements; LL 64K ~ 16 ms;");
-    println!("recovery time grows with structure size for all structures.");
+    let cfg = bench::RunConfig::from_env();
+    let report = bench::experiments::fig10(&cfg);
+    print!("{}", bench::report::render_text(&report));
 }

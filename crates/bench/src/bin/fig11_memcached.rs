@@ -1,138 +1,18 @@
-//! Figure 11: NV-Memcached versus volatile Memcached and memcached-clht.
+//! **Reproduces Figure 11** of the paper: NV-Memcached versus volatile
+//! Memcached and memcached-clht.
 //!
-//! Left plot: throughput under a 1:4 set:get mix across key ranges
-//! (10^3..10^6) — the paper reports *no notable drop* between the three
-//! systems. Right plot: warm-up time of the volatile systems (populate
-//! half the key range) versus NV-Memcached's recovery time — recovery is
-//! up to three orders of magnitude faster (§6.5).
-
-use std::sync::Arc;
-use std::time::Instant;
-
-use bench::{env_u64, full_scale};
-use nvmemcached::memtier::{run_threads, Request, Workload};
-use nvmemcached::{ClhtMemcached, NvMemcached, VolatileMemcached};
-use pmem::{LatencyModel, Mode, PoolBuilder};
-
-const THREADS: usize = 4; // both server and client default to 4 (§6.5)
-
-fn pool_bytes(key_range: u64) -> usize {
-    ((key_range * 256).max(64 << 20) as usize) + (64 << 20)
-}
+//! Axes, left plot: x — key range (10^3..10^6 with `FULL=1`); y —
+//! requests/s under a 1:4 set:get mix — the paper reports *no notable
+//! drop* between the three systems. Right plot: warm-up time of the
+//! volatile systems (populate half the key range, the `warmup_ms`
+//! metric) versus NV-Memcached's recovery time (`recovery_ms`) —
+//! recovery is up to three orders of magnitude faster (§6.5). Get hit
+//! rates are reported per system (`get_hit_rate`).
+//!
+//! Thin wrapper over [`bench::experiments::fig11`].
 
 fn main() {
-    println!("== Figure 11: Memcached vs memcached-clht vs NV-Memcached ==");
-    let mut ranges: Vec<u64> = vec![1_000, 10_000, 100_000];
-    if full_scale() {
-        ranges.push(1_000_000);
-    }
-    let ops = env_u64("MEMTIER_OPS", 200_000);
-    println!(
-        "{:<12} {:>16} {:>16} {:>16}",
-        "key range", "memcached", "clht", "nv-memcached"
-    );
-    println!("{:<12} {:>16} {:>16} {:>16}  (ops/s, 1:4 set:get, 4 threads)", "", "", "", "");
-    let mut warmups: Vec<(u64, u128, u128, u128)> = Vec::new();
-    for &range in &ranges {
-        let wl = Workload::paper(range, 42);
-
-        // --- stock memcached model ---
-        let v = VolatileMemcached::new();
-        let t = Instant::now();
-        for k in wl.warmup_keys() {
-            v.set(k, k);
-        }
-        let warm_v = t.elapsed().as_nanos();
-        let r_v = run_threads(THREADS, ops, wl, |_t| {
-            let v = &v;
-            move |req| match req {
-                Request::Set(k, val) => v.set(k, val),
-                Request::Get(k) => {
-                    let _ = v.get(k);
-                }
-            }
-        });
-
-        // --- memcached-clht model ---
-        let pool = PoolBuilder::new(pool_bytes(range)).mode(Mode::Volatile).build();
-        let c = ClhtMemcached::create(pool, range as usize).expect("pool sized");
-        let t = Instant::now();
-        {
-            let mut ctx = c.register();
-            for k in wl.warmup_keys() {
-                c.set(&mut ctx, k, k).expect("pool sized");
-            }
-        }
-        let warm_c = t.elapsed().as_nanos();
-        let r_c = run_threads(THREADS, ops, wl, |_t| {
-            let mut ctx = c.register();
-            let c = &c;
-            move |req| match req {
-                Request::Set(k, val) => c.set(&mut ctx, k, val).expect("pool sized"),
-                Request::Get(k) => {
-                    let _ = c.get(&mut ctx, k);
-                }
-            }
-        });
-
-        // --- NV-Memcached ---
-        let pool = PoolBuilder::new(pool_bytes(range))
-            .mode(Mode::CrashSim)
-            .latency(LatencyModel::ZERO)
-            .build();
-        let mc =
-            NvMemcached::create(Arc::clone(&pool), range as usize, usize::MAX / 2, true)
-                .expect("pool sized");
-        {
-            let mut ctx = mc.register();
-            for k in wl.warmup_keys() {
-                mc.set(&mut ctx, k, k).expect("pool sized");
-            }
-        }
-        let r_n = run_threads(THREADS, ops, wl, |_t| {
-            let mut ctx = mc.register();
-            let mc = &mc;
-            move |req| match req {
-                Request::Set(k, val) => mc.set(&mut ctx, k, val).expect("pool sized"),
-                Request::Get(k) => {
-                    let _ = mc.get(&mut ctx, k);
-                }
-            }
-        });
-        // Crash it and time recovery.
-        drop(mc);
-        // SAFETY: all workers joined by run_threads.
-        unsafe { pool.simulate_crash().expect("crash-sim pool") };
-        let t = Instant::now();
-        let (mc2, _report) = NvMemcached::recover(Arc::clone(&pool), usize::MAX / 2);
-        let recover_n = t.elapsed().as_nanos();
-        let _ = mc2.len();
-
-        println!(
-            "{:<12} {:>16.0} {:>16.0} {:>16.0}",
-            range,
-            r_v.throughput(),
-            r_c.throughput(),
-            r_n.throughput()
-        );
-        warmups.push((range, warm_v, warm_c, recover_n));
-    }
-    println!();
-    println!("== warm-up (volatile) vs recovery (NV-Memcached) time, ms ==");
-    println!(
-        "{:<12} {:>16} {:>16} {:>18}",
-        "key range", "memcached warm", "clht warm", "nv-mc recovery"
-    );
-    for (range, wv, wc, rn) in warmups {
-        println!(
-            "{:<12} {:>16.3} {:>16.3} {:>18.3}",
-            range,
-            wv as f64 / 1e6,
-            wc as f64 / 1e6,
-            rn as f64 / 1e6
-        );
-    }
-    println!();
-    println!("paper: no notable throughput drop across the three systems;");
-    println!("recovery up to three orders of magnitude faster than re-population.");
+    let cfg = bench::RunConfig::from_env();
+    let report = bench::experiments::fig11(&cfg);
+    print!("{}", bench::report::render_text(&report));
 }

@@ -1,68 +1,15 @@
-//! Figure 5: update throughput of the log-free structures relative to the
-//! redo-log-based implementations, across structure sizes, at 1 and 8
+//! **Reproduces Figure 5** of the paper: update throughput of the
+//! log-free structures relative to the redo-log-based implementations.
+//!
+//! Axes: x — structure size (per structure, up to 4M elements with
+//! `FULL=1`); y — throughput ratio log-free/log-based, at 1 and 8
 //! threads. Workload: 50% inserts / 50% removes of random keys (§6.2).
 //!
-//! Run with `FULL=1` for the paper's largest sizes (4M elements / 64K for
-//! the linked list).
-
-use bench::{build, env_u64, median_throughput, print_ratio_row, DsKind, Flavor};
-use pmem::{LatencyModel, Mode};
-
-/// Paper-reported ratios, indexed by (structure, size, threads).
-fn paper_ratio(kind: DsKind, size: u64, threads: usize) -> Option<f64> {
-    let table: &[(u64, f64, f64)] = match kind {
-        // (size, 1-thread ratio, 8-thread ratio)
-        DsKind::SkipList => {
-            &[(128, 2.22, 2.56), (4096, 5.88, 6.67), (65_536, 7.69, 8.33), (4_194_304, 10.0, 9.09)]
-        }
-        DsKind::LinkedList => {
-            &[(32, 2.17, 1.56), (128, 1.85, 1.17), (4096, 1.43, 1.23), (65_536, 1.09, 1.05)]
-        }
-        DsKind::HashTable => {
-            &[(128, 3.03, 1.92), (4096, 3.03, 2.04), (65_536, 2.27, 1.56), (4_194_304, 1.32, 1.18)]
-        }
-        DsKind::Bst => {
-            &[(128, 2.13, 1.28), (4096, 1.69, 1.22), (65_536, 1.14, 1.05), (4_194_304, 1.11, 1.02)]
-        }
-    };
-    table
-        .iter()
-        .find(|&&(s, _, _)| s == size)
-        .map(|&(_, t1, t8)| if threads == 1 { t1 } else { t8 })
-}
+//! Thin wrapper over [`bench::experiments::fig5`]; `bench_all` runs the
+//! same experiment and records it in `BENCH_results.json`.
 
 fn main() {
-    let latency = LatencyModel::new(env_u64("NVRAM_NS", 125));
-    println!("== Figure 5: log-free vs log-based update throughput ==");
-    println!("workload: 50% insert / 50% remove, keys uniform in 2x size; latency {latency:?}");
-    println!();
-    for kind in [DsKind::SkipList, DsKind::LinkedList, DsKind::HashTable, DsKind::Bst] {
-        println!("--- {} ---", kind.name());
-        for size in kind.fig5_sizes() {
-            for threads in [1usize, 8] {
-                // The paper's system turns the link cache off at high
-                // thread counts (§6.2); mirror that policy.
-                let flavor = if threads == 1 { Flavor::LogFreeLc } else { Flavor::LogFree };
-                let ours = median_throughput(
-                    || build(kind, flavor, size, Mode::Perf, latency),
-                    threads,
-                    size,
-                    100, // updates only among non-lookup mix: 50/50 ins/rem
-                );
-                let base = median_throughput(
-                    || build(kind, Flavor::LogBased, size, Mode::Perf, latency),
-                    threads,
-                    size,
-                    100,
-                );
-                print_ratio_row(
-                    &format!("{} size={size} threads={threads}", kind.name()),
-                    ours,
-                    base,
-                    paper_ratio(kind, size, threads),
-                );
-            }
-        }
-        println!();
-    }
+    let cfg = bench::RunConfig::from_env();
+    let report = bench::experiments::fig5(&cfg);
+    print!("{}", bench::report::render_text(&report));
 }

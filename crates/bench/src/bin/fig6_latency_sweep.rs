@@ -1,38 +1,15 @@
-//! Figure 6: update throughput relative to the log-based implementation
-//! as NVRAM write latency grows (125 ns, 1.25 µs, 12.5 µs). Linked list,
-//! 1024 elements — small enough that reads are served from cache, so the
-//! sync-count ratio dominates (§6.2).
-
-use bench::{build, median_throughput, print_ratio_row, DsKind, Flavor};
-use pmem::{LatencyModel, Mode};
+//! **Reproduces Figure 6** of the paper: update throughput relative to
+//! the log-based implementation as NVRAM write latency grows.
+//!
+//! Axes: x — injected NVRAM write latency (125 ns, 1.25 µs, 12.5 µs);
+//! y — throughput ratio log-free/log-based at 1 and 8 threads. Linked
+//! list, 1024 elements — small enough that reads are served from cache,
+//! so the sync-count ratio dominates (§6.2).
+//!
+//! Thin wrapper over [`bench::experiments::fig6`].
 
 fn main() {
-    println!("== Figure 6: throughput ratio vs NVRAM write latency (LL, 1024 elems) ==");
-    let size = 1024u64;
-    let paper: &[(u64, f64, f64)] =
-        &[(125, 1.20, 1.13), (1_250, 2.15, 1.81), (12_500, 4.79, 4.12)];
-    for &(ns, p1, p8) in paper {
-        let latency = LatencyModel::new(ns);
-        for (threads, paper) in [(1usize, p1), (8usize, p8)] {
-            let flavor = if threads == 1 { Flavor::LogFreeLc } else { Flavor::LogFree };
-            let ours = median_throughput(
-                || build(DsKind::LinkedList, flavor, size, Mode::Perf, latency),
-                threads,
-                size,
-                100,
-            );
-            let base = median_throughput(
-                || build(DsKind::LinkedList, Flavor::LogBased, size, Mode::Perf, latency),
-                threads,
-                size,
-                100,
-            );
-            print_ratio_row(
-                &format!("latency={ns}ns threads={threads}"),
-                ours,
-                base,
-                Some(paper),
-            );
-        }
-    }
+    let cfg = bench::RunConfig::from_env();
+    let report = bench::experiments::fig6(&cfg);
+    print!("{}", bench::report::render_text(&report));
 }

@@ -1,45 +1,14 @@
-//! Figure 7: the durable linked list relative to an NVRAM-oblivious
-//! (volatile) implementation. The durability overhead is constant per
-//! operation, so the ratio approaches 1 as structures grow and traversal
-//! dominates (§6.2).
-
-use bench::{build, median_throughput, print_ratio_row, DsKind, Flavor};
-use pmem::{LatencyModel, Mode};
+//! **Reproduces Figure 7** of the paper: the durable linked list
+//! relative to an NVRAM-oblivious (volatile) implementation.
+//!
+//! Axes: x — list size; y — throughput ratio durable/volatile at 1 and
+//! 8 threads. The durability overhead is constant per operation, so the
+//! ratio approaches 1 as structures grow and traversal dominates (§6.2).
+//!
+//! Thin wrapper over [`bench::experiments::fig7`].
 
 fn main() {
-    println!("== Figure 7: durable vs volatile linked list ==");
-    let paper: &[(u64, f64, f64)] =
-        &[(32, 0.28, 0.37), (128, 0.47, 0.52), (4096, 0.65, 0.81), (65_536, 0.83, 0.86)];
-    let latency = LatencyModel::PAPER_DEFAULT;
-    for &(size, p1, p8) in paper {
-        for (threads, paper) in [(1usize, p1), (8usize, p8)] {
-            let flavor = if threads == 1 { Flavor::LogFreeLc } else { Flavor::LogFree };
-            let durable = median_throughput(
-                || build(DsKind::LinkedList, flavor, size, Mode::Perf, latency),
-                threads,
-                size,
-                100,
-            );
-            let volatile = median_throughput(
-                || {
-                    build(
-                        DsKind::LinkedList,
-                        Flavor::LogFree,
-                        size,
-                        Mode::Volatile,
-                        LatencyModel::ZERO,
-                    )
-                },
-                threads,
-                size,
-                100,
-            );
-            print_ratio_row(
-                &format!("size={size} threads={threads}"),
-                durable,
-                volatile,
-                Some(paper),
-            );
-        }
-    }
+    let cfg = bench::RunConfig::from_env();
+    let report = bench::experiments::fig7(&cfg);
+    print!("{}", bench::report::render_text(&report));
 }

@@ -1,47 +1,15 @@
-//! Figure 8: isolating the contribution of link-and-persist (LP) and the
-//! link cache (LC). Throughput of both log-free variants normalised to
-//! the log-based implementation, all using identical (NV-epochs) memory
-//! management; 1024-element structures, 100% updates (§6.3).
-
-use bench::{build, median_throughput, print_ratio_row, DsKind, Flavor};
-use pmem::{LatencyModel, Mode};
+//! **Reproduces Figure 8** of the paper: isolating the contribution of
+//! link-and-persist (LP) and the link cache (LC).
+//!
+//! Axes: rows are structure × thread-count; y — throughput of both
+//! log-free variants normalised to the log-based implementation, all
+//! using identical (NV-epochs) memory management; 1024-element
+//! structures, 100% updates (§6.3).
+//!
+//! Thin wrapper over [`bench::experiments::fig8`].
 
 fn main() {
-    println!("== Figure 8: link-and-persist (LP) vs link cache (LC), 1024 elems ==");
-    println!("normalised to log-based; identical memory management everywhere");
-    let size = 1024u64;
-    let latency = LatencyModel::PAPER_DEFAULT;
-    // (kind, threads, paper LP, paper LC)
-    let paper: &[(DsKind, usize, f64, f64)] = &[
-        (DsKind::HashTable, 1, 1.90, 2.73),
-        (DsKind::HashTable, 8, 1.61, 1.63),
-        (DsKind::SkipList, 1, 9.90, 10.64),
-        (DsKind::SkipList, 8, 8.44, 7.74),
-        (DsKind::LinkedList, 1, 1.17, 1.19),
-        (DsKind::LinkedList, 8, 1.04, 1.05),
-        (DsKind::Bst, 1, 1.49, 1.49),
-        (DsKind::Bst, 8, 1.02, 0.96),
-    ];
-    for &(kind, threads, p_lp, p_lc) in paper {
-        let base = median_throughput(
-            || build(kind, Flavor::LogBasedNvMem, size, Mode::Perf, latency),
-            threads,
-            size,
-            100,
-        );
-        let lp = median_throughput(
-            || build(kind, Flavor::LogFree, size, Mode::Perf, latency),
-            threads,
-            size,
-            100,
-        );
-        let lc = median_throughput(
-            || build(kind, Flavor::LogFreeLc, size, Mode::Perf, latency),
-            threads,
-            size,
-            100,
-        );
-        print_ratio_row(&format!("{} {}t LP", kind.name(), threads), lp, base, Some(p_lp));
-        print_ratio_row(&format!("{} {}t LC", kind.name(), threads), lc, base, Some(p_lc));
-    }
+    let cfg = bench::RunConfig::from_env();
+    let report = bench::experiments::fig8(&cfg);
+    print!("{}", bench::report::render_text(&report));
 }

@@ -1,36 +1,17 @@
-//! Figure 9a: active page table hit rates for allocations (inserts) and
-//! deallocations (deletes) as the structure grows. Skip list, 4 KiB
-//! pages, trim threshold 16 (§6.3). The paper reports near-100% insert
-//! hit rates at all sizes, with delete hit rates declining once the
-//! structure exceeds ~1M nodes (less reclamation locality).
-
-use std::time::Duration;
-
-use bench::{build, env_u64, full_scale, prefill, run_mixed, DsKind, Flavor};
-use pmem::{LatencyModel, Mode};
+//! **Reproduces Figure 9a** of the paper: active page table hit rates
+//! for allocations (inserts) and deallocations (deletes) as the
+//! structure grows.
+//!
+//! Axes: x — structure size; y — APT hit rates (insert and delete),
+//! reported as `apt_alloc_hit_rate` / `apt_unlink_hit_rate` metrics.
+//! Skip list, 4 KiB pages, trim threshold 16 (§6.3). The paper reports
+//! near-100% insert hit rates at all sizes, with delete hit rates
+//! declining once the structure exceeds ~1M nodes.
+//!
+//! Thin wrapper over [`bench::experiments::fig9a`].
 
 fn main() {
-    println!("== Figure 9a: APT hit rates (skip list, 4KiB pages, trim at 16) ==");
-    println!("{:<12} {:>14} {:>14}", "size", "insert hits", "delete hits");
-    let mut sizes: Vec<u64> = vec![1_024, 16_384, 65_536, 262_144];
-    if full_scale() {
-        sizes.push(1_048_576);
-        sizes.push(4_194_304);
-    }
-    let ms = env_u64("MEASURE_MS", 400);
-    for size in sizes {
-        let inst =
-            build(DsKind::SkipList, Flavor::LogFree, size, Mode::Perf, LatencyModel::ZERO);
-        prefill(&inst, size);
-        let stats = run_mixed(&inst, 4, Duration::from_millis(ms), size, 100, 7);
-        println!(
-            "{:<12} {:>13.1}% {:>13.1}%",
-            size,
-            100.0 * stats.apt.alloc_hit_rate(),
-            100.0 * stats.apt.unlink_hit_rate(),
-        );
-    }
-    println!();
-    println!("paper: insert hit rate ~100% at all sizes; delete hit rate");
-    println!("declines once the structure exceeds ~64 MB (1M+ nodes).");
+    let cfg = bench::RunConfig::from_env();
+    let report = bench::experiments::fig9a(&cfg);
+    print!("{}", bench::report::render_text(&report));
 }

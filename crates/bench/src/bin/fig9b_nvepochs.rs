@@ -1,52 +1,14 @@
-//! Figure 9b: throughput improvement attributable to NV-epochs alone —
+//! **Reproduces Figure 9b** of the paper: throughput improvement
+//! attributable to NV-epochs alone.
+//!
+//! Axes: x — structure size (per structure); y — throughput ratio of
 //! the same log-free structure with NV-epochs memory management versus
-//! the traditional per-operation intent logging (§5.1, §6.3).
-
-use bench::{build, env_u64, median_throughput, print_ratio_row, DsKind, Flavor};
-use nvalloc::MemMode;
-use pmem::{LatencyModel, Mode};
-
-fn paper_ratio(kind: DsKind, size: u64) -> Option<f64> {
-    let table: &[(u64, f64)] = match kind {
-        DsKind::HashTable => &[(128, 1.52), (4096, 1.46), (65_536, 1.02), (4_194_304, 0.90)],
-        DsKind::Bst => &[(128, 1.61), (4096, 1.38), (65_536, 1.03), (4_194_304, 1.10)],
-        DsKind::SkipList => &[(128, 3.89), (4096, 3.18), (65_536, 2.00), (4_194_304, 1.37)],
-        DsKind::LinkedList => &[(32, 1.45), (128, 1.31), (4096, 1.07), (65_536, 1.01)],
-    };
-    table.iter().find(|&&(s, _)| s == size).map(|&(_, r)| r)
-}
+//! traditional per-operation intent logging, at 4 threads (§5.1, §6.3).
+//!
+//! Thin wrapper over [`bench::experiments::fig9b`].
 
 fn main() {
-    let latency = LatencyModel::new(env_u64("NVRAM_NS", 125));
-    println!("== Figure 9b: throughput improvement due to NV-epochs ==");
-    println!("log-free structures; NV-epochs vs per-op intent logging; 4 threads");
-    for kind in [DsKind::HashTable, DsKind::Bst, DsKind::SkipList, DsKind::LinkedList] {
-        for size in kind.fig5_sizes() {
-            if size < 32 {
-                continue;
-            }
-            let nv = median_throughput(
-                || build(kind, Flavor::LogFree, size, Mode::Perf, latency),
-                4,
-                size,
-                100,
-            );
-            let logged = median_throughput(
-                || {
-                    let mut inst = build(kind, Flavor::LogFree, size, Mode::Perf, latency);
-                    inst.mem_mode = MemMode::IntentLog;
-                    inst
-                },
-                4,
-                size,
-                100,
-            );
-            print_ratio_row(
-                &format!("{} size={size}", kind.name()),
-                nv,
-                logged,
-                paper_ratio(kind, size),
-            );
-        }
-    }
+    let cfg = bench::RunConfig::from_env();
+    let report = bench::experiments::fig9b(&cfg);
+    print!("{}", bench::report::render_text(&report));
 }

@@ -1,62 +1,16 @@
-//! Table 1: the background latency cost model (caches, DRAM, projected
-//! NVRAM), plus a calibration check that the simulator's injected batch
-//! pause actually costs what the model says.
-
-use std::time::Instant;
-
-use pmem::{LatencyModel, Mode, PoolBuilder, TABLE1};
+//! **Reproduces Table 1** of the paper: the background latency cost
+//! model (caches, DRAM, projected NVRAM read/write ns), plus a
+//! calibration check that the simulator's injected batch pause actually
+//! costs what the model says and that N clwbs + 1 fence cost ~1 batch,
+//! not N.
+//!
+//! Axes: rows are memory technologies (read/write latency in ns);
+//! calibration rows report measured ns per sync against the model value.
+//!
+//! Thin wrapper over [`bench::experiments::table1`].
 
 fn main() {
-    println!("== Table 1: cache/DRAM/NVRAM (projected) latencies (ns) ==");
-    println!("{:<12} {:>8} {:>8}", "tech", "read", "write");
-    for t in TABLE1 {
-        println!("{:<12} {:>8} {:>8}", t.name, t.read_ns, t.write_ns);
-    }
-    println!();
-    println!(
-        "paper default NVRAM write latency: {} ns (avg of PCM and Memristor writes)",
-        LatencyModel::PAPER_DEFAULT.write_ns
-    );
-    println!();
-    println!("== Simulator calibration: measured cost of one write-back batch ==");
-    for write_ns in [125u64, 1_250, 12_500] {
-        let pool = PoolBuilder::new(1 << 20)
-            .mode(Mode::Perf)
-            .latency(LatencyModel::new(write_ns))
-            .build();
-        let mut f = pool.flusher();
-        let a = pool.heap_start();
-        // Warm up.
-        for _ in 0..100 {
-            f.clwb(a);
-            f.fence();
-        }
-        let iters = 2_000u32;
-        let t = Instant::now();
-        for _ in 0..iters {
-            f.clwb(a);
-            f.fence();
-        }
-        let per = t.elapsed().as_nanos() as u64 / iters as u64;
-        println!(
-            "model {write_ns:>6} ns/batch  -> measured {per:>6} ns/sync (includes bookkeeping)"
-        );
-    }
-    println!();
-    println!("batching check: N clwbs + 1 fence must cost ~1 batch, not N");
-    let pool =
-        PoolBuilder::new(1 << 20).mode(Mode::Perf).latency(LatencyModel::new(1_250)).build();
-    let mut f = pool.flusher();
-    let iters = 1_000u32;
-    for batch in [1usize, 4, 16] {
-        let t = Instant::now();
-        for _ in 0..iters {
-            for i in 0..batch {
-                f.clwb(pool.heap_start() + 64 * i);
-            }
-            f.fence();
-        }
-        let per = t.elapsed().as_nanos() as u64 / iters as u64;
-        println!("batch of {batch:>2} write-backs: {per:>6} ns/sync");
-    }
+    let cfg = bench::RunConfig::from_env();
+    let report = bench::experiments::table1(&cfg);
+    print!("{}", bench::report::render_text(&report));
 }

@@ -13,6 +13,17 @@
 //!   the median of 5);
 //! * NVRAM write latency defaults to the paper's 125 ns and is injected
 //!   once per write-back batch ([`pmem::LatencyModel`]).
+//!
+//! Every harness builds a structured [`report::ExperimentReport`] through
+//! the [`experiments`] registry; the text the binaries print and the
+//! `BENCH_results.json` that `bench_all` writes are two renderings of the
+//! same report. BENCHMARKS.md at the repository root documents the
+//! methodology, every knob, and the JSON schema.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -22,7 +33,7 @@ use linkcache::LinkCache;
 use logbased::{LogDirectory, RedoLog};
 use logfree::LinkOps;
 use nvalloc::{AptStats, MemMode, NvDomain, ThreadCtx};
-use pmem::{LatencyModel, Mode, PmemPool, PoolBuilder};
+use pmem::{FlushStats, LatencyModel, Mode, PmemPool, PoolBuilder};
 
 /// Repetitions per configuration (paper: median of 5). Override with the
 /// `REPEATS` environment variable.
@@ -41,6 +52,98 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
 /// (`FULL=1`). Default keeps every harness under a few minutes.
 pub fn full_scale() -> bool {
     env_u64("FULL", 0) == 1
+}
+
+/// All knobs of one evaluation run, resolved once (from the environment
+/// via [`RunConfig::from_env`], or constructed directly by tests) and
+/// passed explicitly to every experiment so a run is reproducible from
+/// its recorded knob values alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Repetitions per configuration; the median is reported (`REPEATS`).
+    pub repeats: usize,
+    /// Timed-phase duration per repetition, ms (`MEASURE_MS`).
+    pub measure_ms: u64,
+    /// Paper-sized element counts (`FULL=1`).
+    pub full: bool,
+    /// Smoke scale (`SMOKE=1`): structure sizes capped at 1024 and
+    /// request counts shrunk so the whole registry finishes in seconds.
+    /// Used by the CI `bench-report` job and the schema-shape tests.
+    pub smoke: bool,
+    /// Default injected NVRAM write latency, ns (`NVRAM_NS`; the paper
+    /// uses 125). Figure 6 sweeps its own latencies regardless.
+    pub nvram_ns: u64,
+    /// Pre-crash workload duration for recovery experiments, ms
+    /// (`CRASH_WORK_MS`).
+    pub crash_work_ms: u64,
+    /// memtier requests per thread for Figure 11 (`MEMTIER_OPS`).
+    pub memtier_ops: u64,
+}
+
+impl RunConfig {
+    /// Resolves every knob from the environment (see BENCHMARKS.md).
+    pub fn from_env() -> Self {
+        let smoke = env_u64("SMOKE", 0) == 1;
+        Self {
+            repeats: env_u64("REPEATS", REPEATS as u64).max(1) as usize,
+            measure_ms: env_u64("MEASURE_MS", MEASURE_MS),
+            full: full_scale(),
+            smoke,
+            nvram_ns: env_u64("NVRAM_NS", 125),
+            crash_work_ms: env_u64("CRASH_WORK_MS", if smoke { 20 } else { 100 }),
+            memtier_ops: env_u64("MEMTIER_OPS", if smoke { 20_000 } else { 200_000 }),
+        }
+    }
+
+    /// A deliberately tiny configuration for tests: smoke scale, one
+    /// repetition, millisecond timed phases. Fast even in debug builds.
+    pub fn smoke_test() -> Self {
+        Self {
+            repeats: 1,
+            measure_ms: 5,
+            full: false,
+            smoke: true,
+            nvram_ns: 125,
+            crash_work_ms: 5,
+            memtier_ops: 2_000,
+        }
+    }
+
+    /// Largest structure size experiments may use at this scale
+    /// (`u64::MAX` when uncapped).
+    pub fn size_cap(&self) -> u64 {
+        if self.smoke {
+            1024
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Keeps only the sizes within [`RunConfig::size_cap`] (always keeps
+    /// the smallest so no experiment ends up empty).
+    pub fn cap_sizes(&self, mut sizes: Vec<u64>) -> Vec<u64> {
+        let cap = self.size_cap();
+        sizes.sort_unstable();
+        let first = sizes.first().copied();
+        sizes.retain(|&s| s <= cap);
+        if sizes.is_empty() {
+            sizes.extend(first);
+        }
+        sizes
+    }
+
+    /// The knob values to record in `BENCH_results.json`, stringified.
+    pub fn knobs(&self) -> Vec<(String, String)> {
+        vec![
+            ("REPEATS".into(), self.repeats.to_string()),
+            ("MEASURE_MS".into(), self.measure_ms.to_string()),
+            ("FULL".into(), (self.full as u64).to_string()),
+            ("SMOKE".into(), (self.smoke as u64).to_string()),
+            ("NVRAM_NS".into(), self.nvram_ns.to_string()),
+            ("CRASH_WORK_MS".into(), self.crash_work_ms.to_string()),
+            ("MEMTIER_OPS".into(), self.memtier_ops.to_string()),
+        ]
+    }
 }
 
 /// The structures of the evaluation.
@@ -67,25 +170,26 @@ impl DsKind {
         }
     }
 
-    /// The element counts Figure 5 sweeps for this structure.
-    pub fn fig5_sizes(&self) -> Vec<u64> {
-        let full = full_scale();
-        match self {
+    /// The element counts Figure 5 sweeps for this structure at the
+    /// given scale (`FULL` extends to 4M elements, `SMOKE` caps at 1024).
+    pub fn fig5_sizes(&self, cfg: &RunConfig) -> Vec<u64> {
+        let sizes = match self {
             DsKind::LinkedList => {
-                if full {
+                if cfg.full {
                     vec![32, 128, 4096, 65_536]
                 } else {
                     vec![32, 128, 4096, 16_384]
                 }
             }
             _ => {
-                if full {
+                if cfg.full {
                     vec![128, 4096, 65_536, 4_194_304]
                 } else {
                     vec![128, 4096, 65_536]
                 }
             }
-        }
+        };
+        cfg.cap_sizes(sizes)
     }
 }
 
@@ -361,8 +465,9 @@ pub struct RunStats {
     pub elapsed: Duration,
     /// Aggregated APT counters over all workers.
     pub apt: AptStats,
-    /// Aggregated sync batches over all workers.
-    pub sync_batches: u64,
+    /// Aggregated durable-write traffic over all workers during the
+    /// timed phase (excludes prefill and post-run drains).
+    pub flush: FlushStats,
 }
 
 impl RunStats {
@@ -385,16 +490,16 @@ pub fn run_mixed(
     let stop = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
     let barrier = Barrier::new(threads + 1);
-    let apt = parking_lot_free_cell();
-    let syncs = AtomicU64::new(0);
+    let apt = atomic_cells::<4>();
+    let flush = atomic_cells::<3>();
     let key_range = (2 * size).max(2);
-    std::thread::scope(|s| {
+    let elapsed = std::thread::scope(|s| {
         for t in 0..threads {
             let stop = &stop;
             let total_ops = &total_ops;
             let barrier = &barrier;
             let apt = &apt;
-            let syncs = &syncs;
+            let flush = &flush;
             let mut w = inst.worker();
             let ds = &*inst.ds;
             s.spawn(move || {
@@ -402,7 +507,7 @@ pub fn run_mixed(
                 barrier.wait();
                 let mut ops = 0u64;
                 let before_apt = w.ctx.apt_stats();
-                let before_sync = w.ctx.flusher.stats().sync_batches;
+                let before_flush = w.ctx.flusher.stats();
                 while !stop.load(Ordering::Relaxed) {
                     for _ in 0..32 {
                         let k = rng.key(key_range);
@@ -425,10 +530,16 @@ pub fn run_mixed(
                 apt[1].fetch_add(a.alloc_misses - before_apt.alloc_misses, Ordering::Relaxed);
                 apt[2].fetch_add(a.unlink_hits - before_apt.unlink_hits, Ordering::Relaxed);
                 apt[3].fetch_add(a.unlink_misses - before_apt.unlink_misses, Ordering::Relaxed);
-                syncs.fetch_add(
-                    w.ctx.flusher.stats().sync_batches - before_sync,
-                    Ordering::Relaxed,
-                );
+                let f = w.ctx.flusher.stats().diff(before_flush);
+                flush[0].fetch_add(f.clwbs, Ordering::Relaxed);
+                flush[1].fetch_add(f.fences, Ordering::Relaxed);
+                flush[2].fetch_add(f.sync_batches, Ordering::Relaxed);
+                // Second rendezvous: elapsed is measured once every
+                // worker has banked its counters (workers notice the
+                // stop flag only every 32 ops, so the tail past
+                // `duration` must be inside the denominator), but
+                // before the uncounted drain work below.
+                barrier.wait();
                 w.ctx.drain_all();
             });
         }
@@ -436,52 +547,72 @@ pub fn run_mixed(
         let start = Instant::now();
         std::thread::sleep(duration);
         stop.store(true, Ordering::Relaxed);
-        let _ = start;
+        barrier.wait();
+        start.elapsed()
     });
     RunStats {
         ops: total_ops.load(Ordering::Relaxed),
-        elapsed: duration,
+        elapsed,
         apt: AptStats {
             alloc_hits: apt[0].load(Ordering::Relaxed),
             alloc_misses: apt[1].load(Ordering::Relaxed),
             unlink_hits: apt[2].load(Ordering::Relaxed),
             unlink_misses: apt[3].load(Ordering::Relaxed),
         },
-        sync_batches: syncs.load(Ordering::Relaxed),
+        flush: FlushStats {
+            clwbs: flush[0].load(Ordering::Relaxed),
+            fences: flush[1].load(Ordering::Relaxed),
+            sync_batches: flush[2].load(Ordering::Relaxed),
+        },
     }
 }
 
-fn parking_lot_free_cell() -> [AtomicU64; 4] {
+fn atomic_cells<const N: usize>() -> [AtomicU64; N] {
     std::array::from_fn(|_| AtomicU64::new(0))
 }
 
-/// Median of repeated throughput measurements of the same configuration.
-pub fn median_throughput(
+/// Outcome of [`measure`]: the median repetition plus enough context to
+/// build a [`report::Measurement`] row.
+#[derive(Debug, Clone)]
+pub struct MeasuredRun {
+    /// Median throughput over the repeats (ops/s).
+    pub median: f64,
+    /// Per-repeat throughputs in execution order (ops/s).
+    pub per_repeat: Vec<f64>,
+    /// Durable-write traffic of the median repetition's timed phase.
+    pub flush: FlushStats,
+    /// APT counters of the median repetition's timed phase.
+    pub apt: AptStats,
+}
+
+/// Measures one configuration `cfg.repeats` times (fresh instance and
+/// prefill per repetition, as the paper's methodology requires) and
+/// returns the median repetition's numbers.
+pub fn measure(
     mk: impl Fn() -> Instance,
     threads: usize,
     size: u64,
     update_pct: u32,
-) -> f64 {
-    let repeats = env_u64("REPEATS", REPEATS as u64) as usize;
-    let duration = Duration::from_millis(env_u64("MEASURE_MS", MEASURE_MS));
-    let mut results = Vec::with_capacity(repeats);
-    for rep in 0..repeats {
+    cfg: &RunConfig,
+) -> MeasuredRun {
+    let duration = Duration::from_millis(cfg.measure_ms);
+    let mut runs: Vec<RunStats> = Vec::with_capacity(cfg.repeats);
+    for rep in 0..cfg.repeats.max(1) {
         let inst = mk();
         prefill(&inst, size);
-        let stats = run_mixed(&inst, threads, duration, size, update_pct, rep as u64 + 1);
-        results.push(stats.throughput());
+        runs.push(run_mixed(&inst, threads, duration, size, update_pct, rep as u64 + 1));
     }
-    results.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
-    results[results.len() / 2]
+    let per_repeat: Vec<f64> = runs.iter().map(RunStats::throughput).collect();
+    let mut order: Vec<usize> = (0..runs.len()).collect();
+    order.sort_by(|&a, &b| {
+        per_repeat[a].partial_cmp(&per_repeat[b]).expect("finite throughput")
+    });
+    let median_idx = order[order.len() / 2];
+    MeasuredRun {
+        median: per_repeat[median_idx],
+        per_repeat,
+        flush: runs[median_idx].flush,
+        apt: runs[median_idx].apt,
+    }
 }
 
-/// Formats a ratio line in the style of the paper's figures.
-pub fn print_ratio_row(label: &str, ours: f64, baseline: f64, paper: Option<f64>) {
-    let ratio = ours / baseline.max(1e-9);
-    match paper {
-        Some(p) => println!(
-            "{label:<40} {ratio:>8.2}x   (paper reported ~{p:.2}x)  [ours {ours:>12.0} ops/s vs {baseline:>12.0}]"
-        ),
-        None => println!("{label:<40} {ratio:>8.2}x   [ours {ours:>12.0} ops/s vs {baseline:>12.0}]"),
-    }
-}

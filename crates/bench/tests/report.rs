@@ -1,0 +1,195 @@
+//! Tests of the structured reporting layer: JSON round-trips and
+//! escaping, the schema shape of a real (CI-sized) `fig5` report, and
+//! `bench_all`-style baseline regression detection against a synthetic
+//! slow baseline.
+
+use bench::report::{compare, render_text, BenchResults, ExperimentReport, Json, Measurement};
+use bench::{experiments, RunConfig};
+
+// ---------------------------------------------------------------------------
+// JSON serializer/parser
+// ---------------------------------------------------------------------------
+
+#[test]
+fn json_round_trips_structures() {
+    let doc = Json::Obj(vec![
+        ("null".into(), Json::Null),
+        ("bools".into(), Json::Arr(vec![Json::Bool(true), Json::Bool(false)])),
+        ("num".into(), Json::Num(-12.5)),
+        ("int".into(), Json::Num(4_194_304.0)),
+        ("big".into(), Json::Num(9_007_199_254_740_991.0)), // 2^53 - 1, exact
+        ("str".into(), Json::Str("plain".into())),
+        ("nested".into(), Json::Obj(vec![("empty_arr".into(), Json::Arr(vec![]))])),
+        ("empty_obj".into(), Json::Obj(vec![])),
+    ]);
+    for text in [doc.render_pretty(), doc.render_compact()] {
+        assert_eq!(Json::parse(&text).expect("own output parses"), doc, "round-trip of {text}");
+    }
+}
+
+#[test]
+fn json_escapes_and_unescapes_strings() {
+    let nasty = "quote\" backslash\\ newline\n tab\t cr\r bell\u{07} nul\u{0} unicode→é 👍";
+    let doc = Json::Obj(vec![(nasty.to_string(), Json::Str(nasty.to_string()))]);
+    let text = doc.render_compact();
+    // Control characters must be escaped, never emitted raw.
+    assert!(!text.contains('\n') && !text.contains('\u{07}') && !text.contains('\u{0}'));
+    assert!(text.contains("\\n") && text.contains("\\\"") && text.contains("\\\\"));
+    assert_eq!(Json::parse(&text).expect("escaped output parses"), doc);
+}
+
+#[test]
+fn json_parses_foreign_escapes() {
+    // Escapes another producer might emit but our writer does not:
+    // \/ and \uXXXX (including a surrogate pair).
+    let parsed = Json::parse(r#"{"s": "a\/b é 👍", "e": 1.5e3}"#).unwrap();
+    assert_eq!(parsed.get("s").and_then(Json::as_str), Some("a/b é 👍"));
+    assert_eq!(parsed.get("e").and_then(Json::as_f64), Some(1500.0));
+}
+
+#[test]
+fn json_nonfinite_numbers_degrade_to_null() {
+    let doc = Json::Arr(vec![Json::Num(f64::NAN), Json::Num(f64::INFINITY), Json::Num(1.0)]);
+    assert_eq!(doc.render_compact(), "[null,null,1]");
+}
+
+#[test]
+fn json_rejects_malformed_documents() {
+    for bad in [
+        "",
+        "{",
+        "[1,]",
+        "{\"a\" 1}",
+        "tru",
+        "\"unterminated",
+        "1 2",
+        "{\"a\":1} trailing",
+        "\"bad \\q escape\"",
+        "\"unpaired \\ud800 surrogate\"",
+    ] {
+        assert!(Json::parse(bad).is_err(), "accepted malformed input {bad:?}");
+    }
+}
+
+#[test]
+fn json_number_formatting_is_integer_clean() {
+    // Counters serialize without a fractional tail, and floats survive
+    // a round-trip bit-exactly.
+    assert_eq!(Json::Num(31742.0).render_compact(), "31742");
+    let v = 2502400.123456789_f64;
+    let back = Json::parse(&Json::Num(v).render_compact()).unwrap();
+    assert_eq!(back.as_f64(), Some(v));
+}
+
+// ---------------------------------------------------------------------------
+// Report schema shape on a real experiment
+// ---------------------------------------------------------------------------
+
+/// Runs the real fig5 experiment at smoke-test scale and checks the
+/// shape every consumer of `BENCH_results.json` relies on.
+#[test]
+fn fig5_report_has_the_documented_schema_shape() {
+    let cfg = RunConfig::smoke_test();
+    let report = experiments::fig5(&cfg);
+    assert_eq!(report.id, "fig5");
+    assert!(!report.measurements.is_empty());
+
+    let results = BenchResults::collect(cfg.knobs(), vec![report.clone()]);
+    let text = results.to_json().render_pretty();
+    let doc = Json::parse(&text).expect("emitted document parses");
+
+    assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(1.0));
+    assert!(doc.get("git_rev").and_then(Json::as_str).is_some());
+    let knobs = doc.get("knobs").expect("knobs object");
+    assert_eq!(knobs.get("SMOKE").and_then(Json::as_str), Some("1"));
+
+    let experiments = doc.get("experiments").and_then(Json::as_arr).expect("experiments array");
+    assert_eq!(experiments.len(), 1);
+    let fig5 = &experiments[0];
+    assert_eq!(fig5.get("id").and_then(Json::as_str), Some("fig5"));
+    assert!(fig5.get("title").and_then(Json::as_str).is_some());
+    assert!(fig5.get("axes").and_then(Json::as_str).is_some());
+
+    let ms = fig5.get("measurements").and_then(Json::as_arr).expect("measurements array");
+    assert_eq!(ms.len(), report.measurements.len());
+    for m in ms {
+        let label = m.get("label").and_then(Json::as_str).expect("label");
+        for key in ["structure", "threads", "size", "latency_ns", "median_throughput",
+                    "baseline_throughput", "ratio"]
+        {
+            assert!(m.get(key).is_some(), "fig5 row {label} lacks {key}");
+        }
+        let median = m.get("median_throughput").and_then(Json::as_f64).unwrap();
+        assert!(median > 0.0, "row {label} measured nothing");
+        let repeats = m.get("repeat_throughputs").and_then(Json::as_arr).expect("repeats");
+        assert_eq!(repeats.len(), cfg.repeats);
+        let flush = m.get("flush").expect("flush stats");
+        let syncs = flush.get("sync_batches").and_then(Json::as_f64).unwrap();
+        let fences = flush.get("fences").and_then(Json::as_f64).unwrap();
+        assert!(syncs > 0.0, "a durable run must fence ({label})");
+        assert!(fences >= syncs, "sync batches are a subset of fences ({label})");
+        let ratio = m.get("ratio").and_then(Json::as_f64).unwrap();
+        let base = m.get("baseline_throughput").and_then(Json::as_f64).unwrap();
+        assert!((ratio - median / base).abs() < 1e-9, "ratio is median/baseline ({label})");
+    }
+
+    // The human-readable rendering is a view of the same report: every
+    // label appears in it.
+    let rendered = render_text(&report);
+    for m in &report.measurements {
+        assert!(rendered.contains(&m.label), "render_text dropped {}", m.label);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline regression detection
+// ---------------------------------------------------------------------------
+
+fn results_with_throughputs(pairs: &[(&str, f64)]) -> Json {
+    let mut report = ExperimentReport::new("fig5", "t", "a");
+    for &(label, tput) in pairs {
+        report.measurements.push(Measurement {
+            median_throughput: Some(tput),
+            ..Measurement::new(label)
+        });
+    }
+    // A throughput-free experiment (recovery times) that must never
+    // participate in the comparison.
+    let mut fig10 = ExperimentReport::new("fig10", "t", "a");
+    fig10.measurements.push(Measurement::new("ht size=128").metric("recovery_ns", 1e6));
+    let results = BenchResults::collect(vec![], vec![report, fig10]);
+    Json::parse(&results.to_json().render_pretty()).expect("own output parses")
+}
+
+#[test]
+fn baseline_comparison_flags_a_50pct_regression() {
+    // Synthetic slow current run vs fast baseline: one row halved (50%
+    // drop), one row mildly slower (10%), one row improved.
+    let baseline = results_with_throughputs(&[("a", 1000.0), ("b", 1000.0), ("c", 1000.0)]);
+    let current = results_with_throughputs(&[("a", 500.0), ("b", 900.0), ("c", 1500.0)]);
+    let regs = compare(&current, &baseline, 25.0);
+    assert_eq!(regs.len(), 1, "only the halved row regresses: {regs:?}");
+    assert_eq!(regs[0].experiment, "fig5");
+    assert_eq!(regs[0].label, "a");
+    assert!((regs[0].drop_pct - 50.0).abs() < 1e-9);
+    let shown = regs[0].to_string();
+    assert!(shown.contains("fig5/a") && shown.contains("50.0% drop"), "display: {shown}");
+}
+
+#[test]
+fn baseline_comparison_ignores_unmatched_and_throughput_free_rows() {
+    let baseline = results_with_throughputs(&[("a", 1000.0), ("retired", 9999.0)]);
+    let current = results_with_throughputs(&[("a", 1000.0), ("brand-new", 1.0)]);
+    assert!(compare(&current, &baseline, 25.0).is_empty());
+    // Identical documents never regress, at any threshold.
+    assert!(compare(&baseline, &baseline, 0.0).is_empty());
+}
+
+#[test]
+fn regressions_sort_worst_first() {
+    let baseline = results_with_throughputs(&[("a", 1000.0), ("b", 1000.0)]);
+    let current = results_with_throughputs(&[("a", 600.0), ("b", 100.0)]);
+    let regs = compare(&current, &baseline, 25.0);
+    assert_eq!(regs.len(), 2);
+    assert_eq!(regs[0].label, "b", "worst drop first");
+}

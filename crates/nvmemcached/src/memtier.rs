@@ -7,6 +7,7 @@
 //! rather than over the network — see the crate docs for why that
 //! preserves the comparison.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// A single cache request.
@@ -86,6 +87,20 @@ impl Iterator for RequestStream {
     }
 }
 
+/// What the cache did with one request, as observed by the worker that
+/// executed it. Returned by the worker closure so [`run_threads`] can
+/// aggregate the hit/miss profile of the run (memtier_benchmark reports
+/// exactly these counters next to throughput).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqOutcome {
+    /// A `set` was executed.
+    Set,
+    /// A `get` found the key.
+    Hit,
+    /// A `get` missed.
+    Miss,
+}
+
 /// Result of a timed run.
 #[derive(Debug, Clone, Copy)]
 pub struct RunResult {
@@ -93,6 +108,12 @@ pub struct RunResult {
     pub requests: u64,
     /// Wall-clock duration of the timed phase.
     pub elapsed: Duration,
+    /// `set` requests executed.
+    pub sets: u64,
+    /// `get` requests that found their key.
+    pub hits: u64,
+    /// `get` requests that missed.
+    pub misses: u64,
 }
 
 impl RunResult {
@@ -100,11 +121,30 @@ impl RunResult {
     pub fn throughput(&self) -> f64 {
         self.requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
+
+    /// `get` requests executed (hits + misses).
+    pub fn gets(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of `get` requests that found their key (0 when the run
+    /// issued no gets).
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.gets().max(1)) as f64
+    }
 }
 
 /// Runs `ops_per_thread` requests on each of `threads` workers.
 /// `make_worker(tid)` returns the per-thread closure executing one
-/// request (capturing the system under test and its thread context).
+/// request (capturing the system under test and its thread context) and
+/// reporting what the cache did with it ([`ReqOutcome`]), from which the
+/// run's hit/miss counters are aggregated.
+///
+/// Worker construction (e.g. thread-context registration) happens
+/// *before* a start barrier and the timed window opens after it, so the
+/// reported throughput covers only request execution — systems with
+/// expensive per-thread setup are not penalised relative to those
+/// without.
 pub fn run_threads<W, F>(
     threads: usize,
     ops_per_thread: u64,
@@ -113,21 +153,49 @@ pub fn run_threads<W, F>(
 ) -> RunResult
 where
     F: Fn(usize) -> W + Sync,
-    W: FnMut(Request) + Send,
+    W: FnMut(Request) -> ReqOutcome + Send,
 {
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let mut worker = make_worker(t);
-            let mut stream = workload.stream(t);
-            s.spawn(move || {
-                for _ in 0..ops_per_thread {
-                    worker(stream.next().expect("infinite stream"));
-                }
-            });
+    let sets = AtomicU64::new(0);
+    let hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let elapsed = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut worker = make_worker(t);
+                let mut stream = workload.stream(t);
+                let (sets, hits, misses) = (&sets, &hits, &misses);
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let (mut ls, mut lh, mut lm) = (0u64, 0u64, 0u64);
+                    for _ in 0..ops_per_thread {
+                        match worker(stream.next().expect("infinite stream")) {
+                            ReqOutcome::Set => ls += 1,
+                            ReqOutcome::Hit => lh += 1,
+                            ReqOutcome::Miss => lm += 1,
+                        }
+                    }
+                    sets.fetch_add(ls, Ordering::Relaxed);
+                    hits.fetch_add(lh, Ordering::Relaxed);
+                    misses.fetch_add(lm, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for h in handles {
+            h.join().expect("worker thread panicked");
         }
+        start.elapsed()
     });
-    RunResult { requests: threads as u64 * ops_per_thread, elapsed: start.elapsed() }
+    RunResult {
+        requests: threads as u64 * ops_per_thread,
+        elapsed,
+        sets: sets.load(Ordering::Relaxed),
+        hits: hits.load(Ordering::Relaxed),
+        misses: misses.load(Ordering::Relaxed),
+    }
 }
 
 #[cfg(test)]
@@ -186,12 +254,48 @@ mod tests {
         let counter = std::sync::atomic::AtomicU64::new(0);
         let r = run_threads(4, 1000, w, |_t| {
             let c = &counter;
-            move |_req| {
+            move |req| {
                 c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                match req {
+                    Request::Set(..) => ReqOutcome::Set,
+                    Request::Get(_) => ReqOutcome::Hit,
+                }
             }
         });
         assert_eq!(r.requests, 4000);
         assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 4000);
         assert!(r.throughput() > 0.0);
+        assert_eq!(r.sets + r.hits + r.misses, 4000, "every request has an outcome");
+        assert_eq!(r.gets(), r.hits, "this worker never reported a miss");
+    }
+
+    #[test]
+    fn hit_and_miss_counters_aggregate() {
+        // Workers report a hit for even keys and a miss for odd keys; the
+        // aggregated counters must reflect exactly that split.
+        let w = Workload::paper(100, 11);
+        let r = run_threads(2, 5_000, w, |_t| {
+            move |req| match req {
+                Request::Set(..) => ReqOutcome::Set,
+                Request::Get(k) => {
+                    if k % 2 == 0 {
+                        ReqOutcome::Hit
+                    } else {
+                        ReqOutcome::Miss
+                    }
+                }
+            }
+        });
+        assert_eq!(r.sets + r.gets(), 10_000);
+        assert!(r.hits > 0 && r.misses > 0);
+        assert!((0.4..0.6).contains(&r.hit_rate()), "hit rate {}", r.hit_rate());
+    }
+
+    #[test]
+    fn hit_rate_of_getless_run_is_zero() {
+        let w = Workload { key_range: 10, set_fraction: 1.0, seed: 1 };
+        let r = run_threads(1, 100, w, |_t| |_req| ReqOutcome::Set);
+        assert_eq!(r.gets(), 0);
+        assert_eq!(r.hit_rate(), 0.0);
     }
 }

@@ -22,6 +22,28 @@ pub struct FlushStats {
     pub sync_batches: u64,
 }
 
+impl FlushStats {
+    /// Counter-wise difference `self - earlier`, for delimiting a timed
+    /// run between two snapshots (e.g. of [`PmemPool::flush_stats`]).
+    ///
+    /// Saturates rather than panicking so a snapshot pair taken across a
+    /// [`Flusher::reset_stats`] stays well-defined.
+    pub fn diff(self, earlier: FlushStats) -> FlushStats {
+        FlushStats {
+            clwbs: self.clwbs.saturating_sub(earlier.clwbs),
+            fences: self.fences.saturating_sub(earlier.fences),
+            sync_batches: self.sync_batches.saturating_sub(earlier.sync_batches),
+        }
+    }
+
+    /// Counter-wise accumulation (for summing per-thread stats).
+    pub fn merge(&mut self, other: FlushStats) {
+        self.clwbs += other.clwbs;
+        self.fences += other.fences;
+        self.sync_batches += other.sync_batches;
+    }
+}
+
 /// A per-thread handle through which stores to a [`PmemPool`] are made
 /// durable.
 ///
@@ -156,8 +178,23 @@ impl Flusher {
     }
 
     /// Resets the counters (e.g. after warm-up, before a measured run).
+    ///
+    /// The counters accumulated so far are still published to the pool's
+    /// lifetime totals ([`PmemPool::flush_stats`]) immediately, so a
+    /// reset never makes durable-write traffic disappear from the
+    /// pool-level view.
     pub fn reset_stats(&mut self) {
+        self.pool.absorb_flush_stats(self.stats);
         self.stats = FlushStats::default();
+    }
+}
+
+impl Drop for Flusher {
+    /// Publishes this flusher's counters into the pool's lifetime totals
+    /// so per-run [`FlushStats`] snapshots can be taken at the pool level
+    /// once the run's workers have quiesced (see [`PmemPool::flush_stats`]).
+    fn drop(&mut self) {
+        self.pool.absorb_flush_stats(self.stats);
     }
 }
 
@@ -249,5 +286,48 @@ mod tests {
         f.fence();
         f.reset_stats();
         assert_eq!(f.stats(), FlushStats::default());
+    }
+
+    #[test]
+    fn pool_accumulates_retired_flusher_stats() {
+        let pool = PoolBuilder::new(1 << 20).mode(Mode::Perf).build();
+        let before = pool.flush_stats();
+        assert_eq!(before, FlushStats::default());
+        {
+            let mut f = pool.flusher();
+            f.clwb(pool.heap_start());
+            f.fence();
+            // Live flushers are not yet visible at the pool level.
+            assert_eq!(pool.flush_stats(), FlushStats::default());
+        }
+        let after = pool.flush_stats();
+        assert_eq!(after, FlushStats { clwbs: 1, fences: 1, sync_batches: 1 });
+
+        // A reset publishes the pre-reset counters immediately and no
+        // traffic is ever double-counted by the eventual drop.
+        let mut f = pool.flusher();
+        f.clwb(pool.heap_start());
+        f.fence();
+        f.reset_stats();
+        assert_eq!(pool.flush_stats().diff(after), FlushStats { clwbs: 1, fences: 1, sync_batches: 1 });
+        f.clwb(pool.heap_start());
+        f.fence();
+        drop(f);
+        assert_eq!(
+            pool.flush_stats().diff(after),
+            FlushStats { clwbs: 2, fences: 2, sync_batches: 2 }
+        );
+    }
+
+    #[test]
+    fn flush_stats_diff_and_merge() {
+        let a = FlushStats { clwbs: 5, fences: 3, sync_batches: 2 };
+        let b = FlushStats { clwbs: 2, fences: 1, sync_batches: 1 };
+        assert_eq!(a.diff(b), FlushStats { clwbs: 3, fences: 2, sync_batches: 1 });
+        // Saturating, never panicking, across a reset.
+        assert_eq!(b.diff(a), FlushStats::default());
+        let mut c = b;
+        c.merge(a);
+        assert_eq!(c, FlushStats { clwbs: 7, fences: 4, sync_batches: 3 });
     }
 }

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::crashpoint::CrashPlan;
-use crate::flusher::Flusher;
+use crate::flusher::{FlushStats, Flusher};
 use crate::latency::LatencyModel;
 use crate::shadow::Shadow;
 use crate::{align_up, CACHE_LINE, NUM_ROOTS};
@@ -78,6 +78,11 @@ pub struct PmemPool {
     /// Crash-point injection plan (crashtest subsystem). Snapshotted by
     /// each flusher at creation; `None` on every production path.
     crash_plan: Mutex<Option<Arc<CrashPlan>>>,
+    /// Lifetime durable-write totals, accumulated from every flusher as it
+    /// drops (or resets). Backs [`PmemPool::flush_stats`].
+    retired_clwbs: AtomicU64,
+    retired_fences: AtomicU64,
+    retired_sync_batches: AtomicU64,
 }
 
 // SAFETY: the pool hands out access to its memory only through atomic or
@@ -113,6 +118,9 @@ impl PmemPool {
             shadow,
             crashes: AtomicU64::new(0),
             crash_plan: Mutex::new(None),
+            retired_clwbs: AtomicU64::new(0),
+            retired_fences: AtomicU64::new(0),
+            retired_sync_batches: AtomicU64::new(0),
         })
     }
 
@@ -224,6 +232,29 @@ impl PmemPool {
     /// Number of simulated crashes so far.
     pub fn crash_count(&self) -> u64 {
         self.crashes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime [`FlushStats`] totals over every flusher that has been
+    /// dropped (or explicitly reset) on this pool.
+    ///
+    /// Live flushers contribute only once they drop, so the intended use
+    /// is a *per-run snapshot pair*: record `flush_stats()` once a phase's
+    /// workers have quiesced, run the next phase to completion (joining
+    /// its workers, which drops their flushers), then call it again and
+    /// take [`FlushStats::diff`]. The bench harness reports durable-write
+    /// traffic per timed run exactly this way.
+    pub fn flush_stats(&self) -> FlushStats {
+        FlushStats {
+            clwbs: self.retired_clwbs.load(Ordering::Relaxed),
+            fences: self.retired_fences.load(Ordering::Relaxed),
+            sync_batches: self.retired_sync_batches.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn absorb_flush_stats(&self, s: FlushStats) {
+        self.retired_clwbs.fetch_add(s.clwbs, Ordering::Relaxed);
+        self.retired_fences.fetch_add(s.fences, Ordering::Relaxed);
+        self.retired_sync_batches.fetch_add(s.sync_batches, Ordering::Relaxed);
     }
 
     /// Installs a crash-point injection plan. Only flushers created

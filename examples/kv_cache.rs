@@ -8,7 +8,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use nvram_logfree::nvmemcached::memtier::{run_threads, Request, Workload};
+use nvram_logfree::nvmemcached::memtier::{run_threads, ReqOutcome, Request, Workload};
 use nvram_logfree::nvmemcached::NvMemcached;
 use nvram_logfree::prelude::*;
 
@@ -34,17 +34,25 @@ fn main() {
         let mut ctx = cache.register();
         let cache = &cache;
         move |req| match req {
-            Request::Set(k, v) => cache.set(&mut ctx, k, v).expect("pool sized"),
+            Request::Set(k, v) => {
+                cache.set(&mut ctx, k, v).expect("pool sized");
+                ReqOutcome::Set
+            }
             Request::Get(k) => {
-                let _ = cache.get(&mut ctx, k);
+                if cache.get(&mut ctx, k).is_some() {
+                    ReqOutcome::Hit
+                } else {
+                    ReqOutcome::Miss
+                }
             }
         }
     });
     println!(
-        "served {} requests at {:.0} ops/s ({} items cached)",
+        "served {} requests at {:.0} ops/s ({} items cached, {:.0}% get hit rate)",
         result.requests,
         result.throughput(),
-        cache.len()
+        cache.len(),
+        100.0 * result.hit_rate()
     );
 
     // Power failure.
