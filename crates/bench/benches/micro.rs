@@ -45,10 +45,8 @@ fn bench_sync_primitives(c: &mut Criterion) {
 fn bench_link_update(c: &mut Criterion) {
     let mut g = c.benchmark_group("link_update");
     g.measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(100));
-    let pool = PoolBuilder::new(1 << 20)
-        .mode(Mode::Perf)
-        .latency(LatencyModel::PAPER_DEFAULT)
-        .build();
+    let pool =
+        PoolBuilder::new(1 << 20).mode(Mode::Perf).latency(LatencyModel::PAPER_DEFAULT).build();
     let a = pool.heap_start();
 
     let volatile_pool = PoolBuilder::new(1 << 20).mode(Mode::Volatile).build();
@@ -95,10 +93,8 @@ fn bench_link_update(c: &mut Criterion) {
 fn bench_allocation(c: &mut Criterion) {
     let mut g = c.benchmark_group("nvalloc");
     g.measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(100));
-    let pool = PoolBuilder::new(256 << 20)
-        .mode(Mode::Perf)
-        .latency(LatencyModel::PAPER_DEFAULT)
-        .build();
+    let pool =
+        PoolBuilder::new(256 << 20).mode(Mode::Perf).latency(LatencyModel::PAPER_DEFAULT).build();
     let domain = NvDomain::create(pool);
     let mut ctx = domain.register();
     // Steady-state alloc/retire churn: almost always APT hits.
@@ -126,17 +122,14 @@ fn bench_allocation(c: &mut Criterion) {
 fn bench_structures(c: &mut Criterion) {
     let mut g = c.benchmark_group("structure_ops");
     g.measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(150));
-    let pool = PoolBuilder::new(512 << 20)
-        .mode(Mode::Perf)
-        .latency(LatencyModel::PAPER_DEFAULT)
-        .build();
+    let pool =
+        PoolBuilder::new(512 << 20).mode(Mode::Perf).latency(LatencyModel::PAPER_DEFAULT).build();
     let domain = NvDomain::create(Arc::clone(&pool));
     let mut ctx = domain.register();
     let ht = logfree::HashTable::create(&domain, 1, 1024, LinkOps::new(Arc::clone(&pool), None))
         .expect("pool sized");
-    let sl =
-        logfree::SkipList::create(&domain, &mut ctx, 2, LinkOps::new(Arc::clone(&pool), None))
-            .expect("pool sized");
+    let sl = logfree::SkipList::create(&domain, &mut ctx, 2, LinkOps::new(Arc::clone(&pool), None))
+        .expect("pool sized");
     let bst = logfree::Bst::create(&domain, &mut ctx, 3, LinkOps::new(Arc::clone(&pool), None))
         .expect("pool sized");
     // Scrambled prefill order: ascending keys would degenerate the
@@ -180,5 +173,11 @@ fn bench_structures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sync_primitives, bench_link_update, bench_allocation, bench_structures);
+criterion_group!(
+    benches,
+    bench_sync_primitives,
+    bench_link_update,
+    bench_allocation,
+    bench_structures
+);
 criterion_main!(benches);

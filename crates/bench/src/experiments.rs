@@ -36,15 +36,31 @@ pub struct ExperimentSpec {
 /// Figures 5–11).
 pub fn registry() -> [ExperimentSpec; 9] {
     [
-        ExperimentSpec { id: "table1", title: "latency cost model + simulator calibration", run: table1 },
+        ExperimentSpec {
+            id: "table1",
+            title: "latency cost model + simulator calibration",
+            run: table1,
+        },
         ExperimentSpec { id: "fig5", title: "log-free vs log-based update throughput", run: fig5 },
         ExperimentSpec { id: "fig6", title: "throughput ratio vs NVRAM write latency", run: fig6 },
         ExperimentSpec { id: "fig7", title: "durable vs volatile linked list", run: fig7 },
-        ExperimentSpec { id: "fig8", title: "link-and-persist vs link-cache contributions", run: fig8 },
+        ExperimentSpec {
+            id: "fig8",
+            title: "link-and-persist vs link-cache contributions",
+            run: fig8,
+        },
         ExperimentSpec { id: "fig9a", title: "active-page-table hit rates", run: fig9a },
-        ExperimentSpec { id: "fig9b", title: "NV-epochs vs intent-logged memory management", run: fig9b },
+        ExperimentSpec {
+            id: "fig9b",
+            title: "NV-epochs vs intent-logged memory management",
+            run: fig9b,
+        },
         ExperimentSpec { id: "fig10", title: "recovery time vs structure size", run: fig10 },
-        ExperimentSpec { id: "fig11", title: "NV-Memcached vs Memcached vs memcached-clht", run: fig11 },
+        ExperimentSpec {
+            id: "fig11",
+            title: "NV-Memcached vs Memcached vs memcached-clht",
+            run: fig11,
+        },
     ]
 }
 
@@ -119,10 +135,8 @@ pub fn table1(cfg: &RunConfig) -> ExperimentReport {
 
     let iters: u32 = if cfg.smoke { 500 } else { 2_000 };
     for write_ns in [125u64, 1_250, 12_500] {
-        let pool = PoolBuilder::new(1 << 20)
-            .mode(Mode::Perf)
-            .latency(LatencyModel::new(write_ns))
-            .build();
+        let pool =
+            PoolBuilder::new(1 << 20).mode(Mode::Perf).latency(LatencyModel::new(write_ns)).build();
         let mut f = pool.flusher();
         let a = pool.heap_start();
         for _ in 0..100 {
@@ -144,8 +158,7 @@ pub fn table1(cfg: &RunConfig) -> ExperimentReport {
         );
     }
 
-    let pool =
-        PoolBuilder::new(1 << 20).mode(Mode::Perf).latency(LatencyModel::new(1_250)).build();
+    let pool = PoolBuilder::new(1 << 20).mode(Mode::Perf).latency(LatencyModel::new(1_250)).build();
     let mut f = pool.flusher();
     let iters: u32 = if cfg.smoke { 250 } else { 1_000 };
     for batch in [1usize, 4, 16] {
@@ -249,8 +262,7 @@ pub fn fig6(cfg: &RunConfig) -> ExperimentReport {
         "x: injected NVRAM write latency (ns); y: throughput ratio log-free/log-based",
     );
     let size = 1024u64.min(cfg.size_cap());
-    let paper: &[(u64, f64, f64)] =
-        &[(125, 1.20, 1.13), (1_250, 2.15, 1.81), (12_500, 4.79, 4.12)];
+    let paper: &[(u64, f64, f64)] = &[(125, 1.20, 1.13), (1_250, 2.15, 1.81), (12_500, 4.79, 4.12)];
     for &(ns, p1, p8) in paper {
         let latency = LatencyModel::new(ns);
         for (threads, paper) in [(1usize, p1), (8usize, p8)] {

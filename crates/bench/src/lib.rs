@@ -321,25 +321,29 @@ pub fn pool_bytes(size: u64) -> usize {
 
 /// Builds an instance of `kind`/`flavor` over a pool in `mode` with the
 /// given latency.
-pub fn build(kind: DsKind, flavor: Flavor, size: u64, mode: Mode, latency: LatencyModel) -> Instance {
+pub fn build(
+    kind: DsKind,
+    flavor: Flavor,
+    size: u64,
+    mode: Mode,
+    latency: LatencyModel,
+) -> Instance {
     let pool = PoolBuilder::new(pool_bytes(size)).mode(mode).latency(latency).build();
     let domain = NvDomain::create(Arc::clone(&pool));
     let buckets = (size.max(64) as usize).next_power_of_two();
     match flavor {
         Flavor::LogFree | Flavor::LogFreeLc => {
-            let lc = (flavor == Flavor::LogFreeLc && mode != Mode::Volatile)
-                .then(|| Arc::new(LinkCache::with_default_size(Arc::clone(&pool), logfree::marked::DIRTY)));
+            let lc = (flavor == Flavor::LogFreeLc && mode != Mode::Volatile).then(|| {
+                Arc::new(LinkCache::with_default_size(Arc::clone(&pool), logfree::marked::DIRTY))
+            });
             let mk_ops = || LinkOps::new(Arc::clone(&pool), lc.clone());
             let mut ctx = domain.register();
             let ds: Box<dyn SetDs> = match kind {
-                DsKind::LinkedList => {
-                    Box::new(logfree::LinkedList::create(&domain, 1, mk_ops()))
-                }
+                DsKind::LinkedList => Box::new(logfree::LinkedList::create(&domain, 1, mk_ops())),
                 DsKind::HashTable => Box::new(
                     logfree::HashTable::create(&domain, 1, buckets, mk_ops())
                         .expect("pool sized for bucket array"),
-                )
-,
+                ),
                 DsKind::SkipList => Box::new(
                     logfree::SkipList::create(&domain, &mut ctx, 1, mk_ops())
                         .expect("pool sized for head"),
@@ -359,8 +363,7 @@ pub fn build(kind: DsKind, flavor: Flavor, size: u64, mode: Mode, latency: Laten
                     Box::new(logbased::LazyList::create(&domain, &mut ctx, 1).expect("create"))
                 }
                 DsKind::HashTable => Box::new(
-                    logbased::LazyHashTable::create(&domain, &mut ctx, 1, buckets)
-                        .expect("create"),
+                    logbased::LazyHashTable::create(&domain, &mut ctx, 1, buckets).expect("create"),
                 ),
                 DsKind::SkipList => {
                     Box::new(logbased::LockSkipList::create(&domain, &mut ctx, 1).expect("create"))
@@ -604,9 +607,7 @@ pub fn measure(
     }
     let per_repeat: Vec<f64> = runs.iter().map(RunStats::throughput).collect();
     let mut order: Vec<usize> = (0..runs.len()).collect();
-    order.sort_by(|&a, &b| {
-        per_repeat[a].partial_cmp(&per_repeat[b]).expect("finite throughput")
-    });
+    order.sort_by(|&a, &b| per_repeat[a].partial_cmp(&per_repeat[b]).expect("finite throughput"));
     let median_idx = order[order.len() / 2];
     MeasuredRun {
         median: per_repeat[median_idx],
@@ -615,4 +616,3 @@ pub fn measure(
         apt: runs[median_idx].apt,
     }
 }
-

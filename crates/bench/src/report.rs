@@ -356,8 +356,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let code =
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(code)
                             } else {
                                 char::from_u32(hi)
@@ -404,10 +403,9 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
-        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
-            pos: start,
-            msg: format!("invalid number '{text}'"),
-        })
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError { pos: start, msg: format!("invalid number '{text}'") })
     }
 }
 
@@ -515,9 +513,7 @@ impl Measurement {
         if !self.metrics.is_empty() {
             m.push((
                 "metrics".into(),
-                Json::Obj(
-                    self.metrics.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect(),
-                ),
+                Json::Obj(self.metrics.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect()),
             ));
         }
         Json::Obj(m)
@@ -603,10 +599,7 @@ impl BenchResults {
                     self.knobs.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect(),
                 ),
             ),
-            (
-                "experiments".into(),
-                Json::Arr(self.reports.iter().map(|r| r.to_json()).collect()),
-            ),
+            ("experiments".into(), Json::Arr(self.reports.iter().map(|r| r.to_json()).collect())),
         ])
     }
 }

@@ -114,9 +114,15 @@ fn fig5_report_has_the_documented_schema_shape() {
     assert_eq!(ms.len(), report.measurements.len());
     for m in ms {
         let label = m.get("label").and_then(Json::as_str).expect("label");
-        for key in ["structure", "threads", "size", "latency_ns", "median_throughput",
-                    "baseline_throughput", "ratio"]
-        {
+        for key in [
+            "structure",
+            "threads",
+            "size",
+            "latency_ns",
+            "median_throughput",
+            "baseline_throughput",
+            "ratio",
+        ] {
             assert!(m.get(key).is_some(), "fig5 row {label} lacks {key}");
         }
         let median = m.get("median_throughput").and_then(Json::as_f64).unwrap();
@@ -148,10 +154,9 @@ fn fig5_report_has_the_documented_schema_shape() {
 fn results_with_throughputs(pairs: &[(&str, f64)]) -> Json {
     let mut report = ExperimentReport::new("fig5", "t", "a");
     for &(label, tput) in pairs {
-        report.measurements.push(Measurement {
-            median_throughput: Some(tput),
-            ..Measurement::new(label)
-        });
+        report
+            .measurements
+            .push(Measurement { median_throughput: Some(tput), ..Measurement::new(label) });
     }
     // A throughput-free experiment (recovery times) that must never
     // participate in the comparison.

@@ -186,12 +186,7 @@ impl Bst {
         r
     }
 
-    fn insert_inner(
-        &self,
-        ctx: &mut ThreadCtx,
-        key: u64,
-        value: u64,
-    ) -> Result<bool, OutOfMemory> {
+    fn insert_inner(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
         let pool = self.ops.pool().clone();
         loop {
             let rec = self.seek(key);
@@ -214,8 +209,7 @@ impl Bst {
             pool.atomic_u64(new_leaf + LEFT_OFF).store(0, Ordering::Relaxed);
             pool.atomic_u64(new_leaf + RIGHT_OFF).store(0, Ordering::Release);
             let internal = ctx.alloc(NODE_SIZE)?;
-            let (l, rt) =
-                if key < leaf_key { (new_leaf, rec.leaf) } else { (rec.leaf, new_leaf) };
+            let (l, rt) = if key < leaf_key { (new_leaf, rec.leaf) } else { (rec.leaf, new_leaf) };
             pool.atomic_u64(internal + KEY_OFF).store(key.max(leaf_key), Ordering::Relaxed);
             pool.atomic_u64(internal + VAL_OFF).store(0, Ordering::Relaxed);
             pool.atomic_u64(internal + LEFT_OFF).store(l as u64, Ordering::Relaxed);

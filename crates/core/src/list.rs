@@ -82,12 +82,7 @@ pub(crate) struct Found {
 /// key >= `key`, physically unlinking logically deleted nodes on the way
 /// (each unlink is itself a durable link update, and the unlinker retires
 /// the node). On return, the adjacent edges are durable (§3 rule 2).
-pub(crate) fn search(
-    ops: &LinkOps,
-    ctx: &mut ThreadCtx,
-    head_link: usize,
-    key: u64,
-) -> Found {
+pub(crate) fn search(ops: &LinkOps, ctx: &mut ThreadCtx, head_link: usize, key: u64) -> Found {
     'retry: loop {
         let mut pred_link = head_link;
         let mut pred_key: Option<u64> = None;
@@ -217,13 +212,8 @@ pub(crate) fn remove(
                 let val = value_at(ops, f.curr);
                 // Physical unlink; on failure a search (ours or anyone's)
                 // completes it — the successful unlinker retires.
-                match ops.link_cas(
-                    key,
-                    f.pred_link,
-                    f.curr as u64,
-                    bare(next_w),
-                    &mut ctx.flusher,
-                ) {
+                match ops.link_cas(key, f.pred_link, f.curr as u64, bare(next_w), &mut ctx.flusher)
+                {
                     CasOutcome::Ok => ctx.retire(f.curr),
                     CasOutcome::Retry => {
                         let _ = search(ops, ctx, head_link, key);
@@ -237,12 +227,7 @@ pub(crate) fn remove(
 
 /// Core read-only lookup. Does not unlink, but helps persist the edges it
 /// depends on and performs the link-cache scan before returning (§4.2).
-pub(crate) fn get(
-    ops: &LinkOps,
-    ctx: &mut ThreadCtx,
-    head_link: usize,
-    key: u64,
-) -> Option<u64> {
+pub(crate) fn get(ops: &LinkOps, ctx: &mut ThreadCtx, head_link: usize, key: u64) -> Option<u64> {
     let mut prev_link = head_link;
     let mut curr = addr_of(ops.load(head_link));
     let mut result = None;

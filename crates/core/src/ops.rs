@@ -125,10 +125,7 @@ impl LinkOps {
             }
         }
         // Link-and-persist (§3): install marked, write back, fence, clear.
-        if link
-            .compare_exchange(old, new | DIRTY, Ordering::AcqRel, Ordering::Acquire)
-            .is_err()
-        {
+        if link.compare_exchange(old, new | DIRTY, Ordering::AcqRel, Ordering::Acquire).is_err() {
             return CasOutcome::Retry;
         }
         flusher.clwb(addr);

@@ -160,11 +160,8 @@ impl SkipList {
                     while is_deleted(succ_w) {
                         // Snip the marked node at this level.
                         if level == 0 {
-                            let succ_w2 = self.ops.ensure_durable(
-                                tower(curr, 0),
-                                succ_w,
-                                &mut ctx.flusher,
-                            );
+                            let succ_w2 =
+                                self.ops.ensure_durable(tower(curr, 0), succ_w, &mut ctx.flusher);
                             let pw = self.ops.load(tower(pred, 0));
                             let pw = self.ops.ensure_durable(tower(pred, 0), pw, &mut ctx.flusher);
                             if bare(pw) != curr as u64 || is_deleted(pw) {
@@ -243,12 +240,7 @@ impl SkipList {
         r
     }
 
-    fn insert_inner(
-        &self,
-        ctx: &mut ThreadCtx,
-        key: u64,
-        value: u64,
-    ) -> Result<bool, OutOfMemory> {
+    fn insert_inner(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
         let pool = self.ops.pool().clone();
         loop {
             let f = self.find(ctx, key);
@@ -266,8 +258,7 @@ impl SkipList {
             pool.atomic_u64(node + VAL_OFF).store(value, Ordering::Relaxed);
             pool.atomic_u64(node + HEIGHT_OFF).store(height as u64, Ordering::Relaxed);
             for level in 0..height {
-                pool.atomic_u64(tower(node, level))
-                    .store(f.succs[level] as u64, Ordering::Release);
+                pool.atomic_u64(tower(node, level)).store(f.succs[level] as u64, Ordering::Release);
             }
             self.ops.persist_node(node, node_size(height), &mut ctx.flusher);
             self.ops.pre_link_fence(&mut ctx.flusher);

@@ -20,15 +20,13 @@ fn empty_structures_recover_cleanly() {
         let domain = NvDomain::create(Arc::clone(&pool));
         let mut ctx = domain.register();
         let _ll = LinkedList::create(&domain, ROOT, LinkOps::new(Arc::clone(&pool), None));
-        let _ht =
-            HashTable::create(&domain, ROOT + 1, 16, LinkOps::new(Arc::clone(&pool), None))
-                .unwrap();
+        let _ht = HashTable::create(&domain, ROOT + 1, 16, LinkOps::new(Arc::clone(&pool), None))
+            .unwrap();
         let _sl =
             SkipList::create(&domain, &mut ctx, ROOT + 2, LinkOps::new(Arc::clone(&pool), None))
                 .unwrap();
-        let _bst =
-            Bst::create(&domain, &mut ctx, ROOT + 3, LinkOps::new(Arc::clone(&pool), None))
-                .unwrap();
+        let _bst = Bst::create(&domain, &mut ctx, ROOT + 3, LinkOps::new(Arc::clone(&pool), None))
+            .unwrap();
         // Intentionally nothing inserted.
     }
     // SAFETY: no threads running.
@@ -253,10 +251,7 @@ fn bst_helping_insert_completes_stuck_delete() {
     assert!(bst.insert(&mut ctx, 25, 25).unwrap());
     assert_eq!(bst.get(&mut ctx, 30), Some(31));
     assert_eq!(bst.get(&mut ctx, 25), Some(25));
-    assert_eq!(
-        bst.snapshot(),
-        vec![(20, 20), (25, 25), (30, 31), (40, 40), (50, 50), (70, 70)]
-    );
+    assert_eq!(bst.snapshot(), vec![(20, 20), (25, 25), (30, 31), (40, 40), (50, 50), (70, 70)]);
 }
 
 #[test]

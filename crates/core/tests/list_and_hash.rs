@@ -5,8 +5,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use logfree::{HashTable, LinkedList, LinkOps};
 use linkcache::LinkCache;
+use logfree::{HashTable, LinkOps, LinkedList};
 use nvalloc::NvDomain;
 use pmem::{LatencyModel, Mode, PmemPool, PoolBuilder};
 use rand::prelude::*;
@@ -19,9 +19,8 @@ fn crash_pool(mb: usize) -> Arc<PmemPool> {
 
 fn make_list(pool: &Arc<PmemPool>, lc: bool) -> (Arc<NvDomain>, LinkedList) {
     let domain = NvDomain::create(Arc::clone(pool));
-    let cache = lc.then(|| {
-        Arc::new(LinkCache::with_default_size(Arc::clone(pool), logfree::marked::DIRTY))
-    });
+    let cache = lc
+        .then(|| Arc::new(LinkCache::with_default_size(Arc::clone(pool), logfree::marked::DIRTY)));
     let ops = LinkOps::new(Arc::clone(pool), cache);
     let list = LinkedList::create(&domain, ROOT, ops);
     (domain, list)
@@ -313,7 +312,10 @@ fn hash_set_semantics_and_oracle() {
     for _ in 0..4000 {
         let k = rng.gen_range(1..500u64);
         match rng.gen_range(0..3) {
-            0 => assert_eq!(ht.insert(&mut ctx, k, k * 7).unwrap(), oracle.insert(k, k * 7).is_none()),
+            0 => assert_eq!(
+                ht.insert(&mut ctx, k, k * 7).unwrap(),
+                oracle.insert(k, k * 7).is_none()
+            ),
             1 => assert_eq!(ht.remove(&mut ctx, k), oracle.remove(&k)),
             _ => assert_eq!(ht.get(&mut ctx, k), oracle.get(&k).copied()),
         }

@@ -83,8 +83,8 @@ fn skiplist_concurrent_disjoint_and_contended() {
     let pool = PoolBuilder::new(128 << 20).mode(Mode::Perf).build();
     let domain = NvDomain::create(Arc::clone(&pool));
     let mut ctx0 = domain.register();
-    let sl = SkipList::create(&domain, &mut ctx0, ROOT, LinkOps::new(Arc::clone(&pool), None))
-        .unwrap();
+    let sl =
+        SkipList::create(&domain, &mut ctx0, ROOT, LinkOps::new(Arc::clone(&pool), None)).unwrap();
     std::thread::scope(|s| {
         for t in 0..8u64 {
             let domain = Arc::clone(&domain);
@@ -236,8 +236,7 @@ fn bst_concurrent_mixed_workload() {
     let pool = PoolBuilder::new(256 << 20).mode(Mode::Perf).build();
     let domain = NvDomain::create(Arc::clone(&pool));
     let mut ctx0 = domain.register();
-    let bst =
-        Bst::create(&domain, &mut ctx0, ROOT, LinkOps::new(Arc::clone(&pool), None)).unwrap();
+    let bst = Bst::create(&domain, &mut ctx0, ROOT, LinkOps::new(Arc::clone(&pool), None)).unwrap();
     std::thread::scope(|s| {
         for t in 0..8u64 {
             let domain = Arc::clone(&domain);

@@ -117,9 +117,7 @@ fn run_trace<T: CrashTarget>(
 /// configured trace and records per-op spans. Returns the plan (event
 /// totals + taxonomy), the spans, and the trace itself — `crash_at` must
 /// be driven with exactly this `(trace, spans)` pair.
-pub fn count_events<T: CrashTarget>(
-    cfg: &CrashConfig,
-) -> (Arc<CrashPlan>, Vec<u64>, Vec<TraceOp>) {
+pub fn count_events<T: CrashTarget>(cfg: &CrashConfig) -> (Arc<CrashPlan>, Vec<u64>, Vec<TraceOp>) {
     let trace = gen_trace(cfg.seed, cfg.trace_len, cfg.key_range, cfg.mix);
     let pool = new_pool(cfg);
     let plan = CrashPlan::count_only();
@@ -323,12 +321,7 @@ impl TortureReport {
 /// returned: `(key, state the key was left in)`.
 type DoneLog = Vec<(u64, Option<u64>)>;
 
-fn torture_worker<T: CrashTarget>(
-    target: &T,
-    cfg: &TortureConfig,
-    tid: u64,
-    log: &Mutex<DoneLog>,
-) {
+fn torture_worker<T: CrashTarget>(target: &T, cfg: &TortureConfig, tid: u64, log: &Mutex<DoneLog>) {
     let mut ctx = target.domain().register();
     let base = 1 + tid * cfg.keys_per_thread;
     // `.max(1)`: xorshift state must never be zero, whatever the seed.
@@ -435,15 +428,13 @@ fn torture_once<T: CrashTarget>(cfg: &TortureConfig, crash_at: u64) -> TortureRe
     });
     pool.clear_crash_plan();
     let fired = plan.fired();
-    let (horizon, img) = captured.lock().expect("capture cell poisoned").take().unwrap_or_else(
-        || {
+    let (horizon, img) =
+        captured.lock().expect("capture cell poisoned").take().unwrap_or_else(|| {
             // The second run had fewer events than estimated: crash after
             // completion instead (full horizon).
-            let horizon =
-                logs.iter().map(|l| l.lock().expect("done log poisoned").len()).collect();
+            let horizon = logs.iter().map(|l| l.lock().expect("done log poisoned").len()).collect();
             (horizon, pool.capture_crash_image().expect("crash-sim pool"))
-        },
-    );
+        });
     drop(target);
     // SAFETY: all workers joined above; no other thread uses the pool.
     unsafe { pool.crash_to_image(&img).expect("crash-sim pool") };

@@ -42,8 +42,8 @@ pub mod target;
 pub mod trace;
 
 pub use driver::{
-    count_events, crash_at, run_crash_points, run_torture, CrashConfig, CrashReport,
-    TortureConfig, TortureReport,
+    count_events, crash_at, run_crash_points, run_torture, CrashConfig, CrashReport, TortureConfig,
+    TortureReport,
 };
 pub use oracle::{OracleConfig, Violation};
 pub use target::{BstTarget, CrashTarget, HashTarget, ListTarget, MemcachedTarget, SkipTarget};

@@ -145,8 +145,7 @@ pub fn validate(
         }
     }
 
-    let in_flight =
-        (completed < ops.len() && spans[completed] <= k).then(|| &ops[completed]);
+    let in_flight = (completed < ops.len() && spans[completed] <= k).then(|| &ops[completed]);
 
     // Per-key allowed states.
     let mut allowed: BTreeMap<u64, Vec<Option<u64>>> = BTreeMap::new();
@@ -172,7 +171,8 @@ pub fn validate(
 
     // Every key any op touched, plus every recovered key (foreign keys
     // must be flagged as corruption).
-    let mut keys: Vec<u64> = ops.iter().map(|op| op.key()).chain(recovered.keys().copied()).collect();
+    let mut keys: Vec<u64> =
+        ops.iter().map(|op| op.key()).chain(recovered.keys().copied()).collect();
     keys.sort_unstable();
     keys.dedup();
 

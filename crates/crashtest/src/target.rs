@@ -54,8 +54,8 @@ pub trait CrashTarget: Sized + Send + Sync {
 }
 
 fn make_ops(pool: &Arc<PmemPool>, use_link_cache: bool) -> LinkOps {
-    let lc = use_link_cache
-        .then(|| Arc::new(LinkCache::with_default_size(Arc::clone(pool), DIRTY)));
+    let lc =
+        use_link_cache.then(|| Arc::new(LinkCache::with_default_size(Arc::clone(pool), DIRTY)));
     LinkOps::new(Arc::clone(pool), lc)
 }
 

@@ -198,8 +198,7 @@ impl LinkCache {
             self.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
             return TryLink::CacheFull;
         }
-        let Some(i) =
-            (0..ENTRIES_PER_BUCKET).find(|&i| Bucket::state_of(control, i) == STATE_FREE)
+        let Some(i) = (0..ENTRIES_PER_BUCKET).find(|&i| Bucket::state_of(control, i) == STATE_FREE)
         else {
             self.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
             return TryLink::CacheFull;

@@ -55,17 +55,18 @@ impl BstTk {
     ) -> Result<Self, OutOfMemory> {
         let pool = Arc::clone(domain.pool());
         ctx.begin_op();
-        let mk = |ctx: &mut ThreadCtx, key: u64, l: usize, r: usize| -> Result<usize, OutOfMemory> {
-            let n = ctx.alloc(NODE_SIZE)?;
-            pool.atomic_u64(n + KEY_OFF).store(key, Ordering::Relaxed);
-            pool.atomic_u64(n + VAL_OFF).store(0, Ordering::Relaxed);
-            pool.atomic_u64(n + LEFT_OFF).store(l as u64, Ordering::Relaxed);
-            pool.atomic_u64(n + RIGHT_OFF).store(r as u64, Ordering::Relaxed);
-            pool.atomic_u64(n + LOCK_OFF).store(0, Ordering::Relaxed);
-            pool.atomic_u64(n + REMOVED_OFF).store(0, Ordering::Release);
-            ctx.flusher.clwb_range(n, NODE_SIZE);
-            Ok(n)
-        };
+        let mk =
+            |ctx: &mut ThreadCtx, key: u64, l: usize, r: usize| -> Result<usize, OutOfMemory> {
+                let n = ctx.alloc(NODE_SIZE)?;
+                pool.atomic_u64(n + KEY_OFF).store(key, Ordering::Relaxed);
+                pool.atomic_u64(n + VAL_OFF).store(0, Ordering::Relaxed);
+                pool.atomic_u64(n + LEFT_OFF).store(l as u64, Ordering::Relaxed);
+                pool.atomic_u64(n + RIGHT_OFF).store(r as u64, Ordering::Relaxed);
+                pool.atomic_u64(n + LOCK_OFF).store(0, Ordering::Relaxed);
+                pool.atomic_u64(n + REMOVED_OFF).store(0, Ordering::Release);
+                ctx.flusher.clwb_range(n, NODE_SIZE);
+                Ok(n)
+            };
         let inf0 = mk(ctx, INF0, 0, 0)?;
         let inf1 = mk(ctx, INF1, 0, 0)?;
         let inf2 = mk(ctx, INF2, 0, 0)?;

@@ -93,8 +93,7 @@ impl LazyHashTable {
     /// Quiescent post-crash fixup (after log replay).
     pub fn recover(&self, flusher: &mut Flusher) {
         for b in 0..self.n_buckets {
-            let head =
-                self.pool.atomic_u64(self.meta + 8 + b * 8).load(Ordering::Acquire) as usize;
+            let head = self.pool.atomic_u64(self.meta + 8 + b * 8).load(Ordering::Acquire) as usize;
             lazylist::recover_chain(&self.pool, head, flusher);
         }
         flusher.fence();
@@ -104,8 +103,7 @@ impl LazyHashTable {
     pub fn collect_reachable(&self) -> HashSet<usize> {
         let mut s = HashSet::new();
         for b in 0..self.n_buckets {
-            let head =
-                self.pool.atomic_u64(self.meta + 8 + b * 8).load(Ordering::Acquire) as usize;
+            let head = self.pool.atomic_u64(self.meta + 8 + b * 8).load(Ordering::Acquire) as usize;
             lazylist::reachable_chain(&self.pool, head, &mut s);
         }
         s
@@ -115,8 +113,7 @@ impl LazyHashTable {
     pub fn snapshot(&self) -> Vec<(u64, u64)> {
         let mut v = Vec::new();
         for b in 0..self.n_buckets {
-            let head =
-                self.pool.atomic_u64(self.meta + 8 + b * 8).load(Ordering::Acquire) as usize;
+            let head = self.pool.atomic_u64(self.meta + 8 + b * 8).load(Ordering::Acquire) as usize;
             lazylist::snapshot_chain(&self.pool, head, &mut v);
         }
         v

@@ -329,7 +329,11 @@ impl LockSkipList {
             // One transaction: mark + all unlinks.
             log.record(victim + FLAGS_OFF, MARKED | FULLY_LINKED, &mut ctx.flusher);
             for level in 0..top {
-                log.record(tower(preds[level], level), self.next_at(victim, level) as u64, &mut ctx.flusher);
+                log.record(
+                    tower(preds[level], level),
+                    self.next_at(victim, level) as u64,
+                    &mut ctx.flusher,
+                );
             }
             log.commit_apply(&mut ctx.flusher);
             for &n in locked.iter().rev() {

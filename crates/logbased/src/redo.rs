@@ -111,14 +111,14 @@ impl RedoLog {
         pool.atomic_u64(self.area + CHECKSUM_OFF).store(checksum, Ordering::Release);
         flusher.clwb(self.area);
         flusher.fence(); // commit sync: the transaction is now decided
-        // Apply.
+                         // Apply.
         for &(addr, value) in &self.staged {
             pool.atomic_u64(addr).store(value, Ordering::Release);
             flusher.clwb(addr);
         }
         flusher.fence(); // apply sync: the home locations are durable
-        // Truncate lazily (idempotent replay makes this safe without a
-        // fence).
+                         // Truncate lazily (idempotent replay makes this safe without a
+                         // fence).
         pool.atomic_u64(self.area + COUNT_OFF).store(0, Ordering::Release);
         flusher.clwb(self.area);
         self.staged.clear();

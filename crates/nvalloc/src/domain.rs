@@ -19,9 +19,7 @@ use pmem::{Flusher, PmemPool};
 
 use crate::apt::{self, ActivePageTable, Activity, AptStats};
 use crate::epoch::{EpochManager, EpochVector};
-use crate::heap::{
-    class_of, page_of, slots_in_class, NvHeap, OutOfMemory, PageHeader, N_CLASSES,
-};
+use crate::heap::{class_of, page_of, slots_in_class, NvHeap, OutOfMemory, PageHeader, N_CLASSES};
 
 /// Retired nodes are sealed into a generation once this many accumulate.
 pub const GENERATION_SIZE: usize = 64;
@@ -548,7 +546,7 @@ mod tests {
         b.end_op();
         a.begin_op();
         a.end_op(); // end_op triggers collection
-        // The slot must be reusable now.
+                    // The slot must be reusable now.
         a.begin_op();
         let again = a.alloc(64).unwrap();
         a.end_op();

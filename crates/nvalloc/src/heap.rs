@@ -251,7 +251,12 @@ impl NvHeap {
                 return Err(OutOfMemory);
             }
             if bump
-                .compare_exchange(cur as u64, (cur + PAGE_SIZE) as u64, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    cur as u64,
+                    (cur + PAGE_SIZE) as u64,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 flusher.persist(self.bump_addr, 8);

@@ -79,11 +79,7 @@ impl Iterator for RequestStream {
     fn next(&mut self) -> Option<Request> {
         let r = self.next_u64();
         let key = (self.next_u64() % self.key_range) + 1;
-        Some(if (r as u32) < self.set_threshold {
-            Request::Set(key, r)
-        } else {
-            Request::Get(key)
-        })
+        Some(if (r as u32) < self.set_threshold { Request::Set(key, r) } else { Request::Get(key) })
     }
 }
 

@@ -309,7 +309,10 @@ mod tests {
         f.clwb(pool.heap_start());
         f.fence();
         f.reset_stats();
-        assert_eq!(pool.flush_stats().diff(after), FlushStats { clwbs: 1, fences: 1, sync_batches: 1 });
+        assert_eq!(
+            pool.flush_stats().diff(after),
+            FlushStats { clwbs: 1, fences: 1, sync_batches: 1 }
+        );
         f.clwb(pool.heap_start());
         f.fence();
         drop(f);

@@ -112,9 +112,6 @@ mod tests {
         assert_eq!(dram.read_ns, 50);
         // The paper's default is the average of PCM and Memristor writes.
         let memristor = TABLE1.iter().find(|t| t.name == "Memristor").unwrap();
-        assert_eq!(
-            (pcm.write_ns + memristor.write_ns) / 2,
-            LatencyModel::PAPER_DEFAULT.write_ns
-        );
+        assert_eq!((pcm.write_ns + memristor.write_ns) / 2, LatencyModel::PAPER_DEFAULT.write_ns);
     }
 }

@@ -133,11 +133,8 @@ mod tests {
         unsafe { shadow.restore(buf.as_mut_ptr()) };
         // Line 1 survived; the others reverted to the initial zeros.
         for (i, &b) in buf.iter().enumerate() {
-            let expected = if (CACHE_LINE..2 * CACHE_LINE).contains(&i) {
-                (i % 251) as u8
-            } else {
-                0
-            };
+            let expected =
+                if (CACHE_LINE..2 * CACHE_LINE).contains(&i) { (i % 251) as u8 } else { 0 };
             assert_eq!(b, expected, "byte {i}");
         }
     }

@@ -17,13 +17,9 @@ fn main() {
         // --- hash table (identity-search oracle, §5.5 first approach) ---
         let pool = PoolBuilder::new(256 << 20).mode(Mode::CrashSim).build();
         let domain = NvDomain::create(Arc::clone(&pool));
-        let ht = HashTable::create(
-            &domain,
-            1,
-            size as usize,
-            LinkOps::new(Arc::clone(&pool), None),
-        )
-        .expect("pool sized");
+        let ht =
+            HashTable::create(&domain, 1, size as usize, LinkOps::new(Arc::clone(&pool), None))
+                .expect("pool sized");
         let mut ctx = domain.register();
         for k in 1..=size {
             ht.insert(&mut ctx, k, k).unwrap();

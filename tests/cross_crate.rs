@@ -231,8 +231,7 @@ fn repeated_crashes_accumulate_no_corruption() {
     let mut oracle = BTreeMap::new();
     {
         let domain = NvDomain::create(Arc::clone(&pool));
-        let _ =
-            HashTable::create(&domain, 1, 256, LinkOps::new(Arc::clone(&pool), None)).unwrap();
+        let _ = HashTable::create(&domain, 1, 256, LinkOps::new(Arc::clone(&pool), None)).unwrap();
     }
     let mut rng = StdRng::seed_from_u64(99);
     for round in 0..5 {
@@ -276,8 +275,7 @@ fn link_cache_quiesce_then_crash_loses_nothing() {
         Arc::clone(&pool),
         nvram_logfree::logfree::marked::DIRTY,
     ));
-    let ht =
-        HashTable::create(&domain, 1, 256, LinkOps::new(Arc::clone(&pool), Some(lc))).unwrap();
+    let ht = HashTable::create(&domain, 1, 256, LinkOps::new(Arc::clone(&pool), Some(lc))).unwrap();
     let mut ctx = domain.register();
     let mut oracle = BTreeMap::new();
     let mut rng = StdRng::seed_from_u64(123);

@@ -113,9 +113,7 @@ impl ProptestConfig {
     /// Applies the `PROPTEST_CASES` / `FULL_SCALE` environment knobs to
     /// the configured case count (see crate docs for precedence).
     pub fn resolved_cases(&self) -> u32 {
-        let env_u32 = |name: &str| {
-            std::env::var(name).ok().and_then(|v| v.parse::<u32>().ok())
-        };
+        let env_u32 = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u32>().ok());
         if let Some(n) = env_u32("PROPTEST_CASES") {
             return n.max(1);
         }
