@@ -23,7 +23,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use bench::report::{compare, render_text, BenchResults, Json};
+use bench::report::{baseline_coverage, compare, render_text, BenchResults, Json};
 use bench::{experiments, RunConfig};
 
 fn usage() -> ! {
@@ -130,6 +130,12 @@ fn main() -> ExitCode {
             }
         };
         let current = Json::parse(&json_text).expect("own output is valid JSON");
+        let (matched, total) = baseline_coverage(&current, &baseline);
+        println!(
+            "[bench_all] baseline coverage: {matched}/{total} current rows matched in \
+             {baseline_path} (unmatched rows — different scale or new configurations — \
+             are NOT gated)"
+        );
         let regressions = compare(&current, &baseline, threshold);
         if regressions.is_empty() {
             println!(

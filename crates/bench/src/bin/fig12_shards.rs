@@ -1,0 +1,20 @@
+//! **Figure 12 (beyond the paper)**: the sharded NV-Memcached under the
+//! Figure 11 workload, sweeping the shard count.
+//!
+//! Axes: x — shard count (powers of two from 1 up to the `SHARDS` knob,
+//! default `{1, 2, 4, 8}`); y — requests/s under the 1:4 set:get mix
+//! (`median_throughput`) and time to recover all shards in parallel after
+//! a simulated crash (`recovery_ms`). Each shard owns its own
+//! pool/domain/table/evict queue; `shards=1` is behaviorally identical to
+//! Figure 11's NV-Memcached, so the sweep isolates what partitioning
+//! buys: throughput should rise with the shard count (per-shard queue and
+//! pool contention falls away) and recovery time should fall (one
+//! recovery thread per shard, each scanning a smaller heap).
+//!
+//! Thin wrapper over [`bench::experiments::fig12_shards`].
+
+fn main() {
+    let cfg = bench::RunConfig::from_env();
+    let report = bench::experiments::fig12_shards(&cfg);
+    print!("{}", bench::report::render_text(&report));
+}

@@ -78,6 +78,9 @@ pub struct RunConfig {
     pub crash_work_ms: u64,
     /// memtier requests per thread for Figure 11 (`MEMTIER_OPS`).
     pub memtier_ops: u64,
+    /// Largest shard count the `fig12_shards` sweep reaches (`SHARDS`;
+    /// powers of two from 1 up to this value, default 8).
+    pub shards: u64,
 }
 
 impl RunConfig {
@@ -92,7 +95,23 @@ impl RunConfig {
             nvram_ns: env_u64("NVRAM_NS", 125),
             crash_work_ms: env_u64("CRASH_WORK_MS", if smoke { 20 } else { 100 }),
             memtier_ops: env_u64("MEMTIER_OPS", if smoke { 20_000 } else { 200_000 }),
+            // Clamped: a shard needs its own pool, so triple digits is
+            // already beyond any sane sweep.
+            shards: env_u64("SHARDS", 8).clamp(1, 1024),
         }
+    }
+
+    /// The shard counts the `fig12_shards` experiment sweeps: powers of
+    /// two from 1 up to the `SHARDS` knob (default `{1, 2, 4, 8}`).
+    pub fn shard_counts(&self) -> Vec<usize> {
+        let mut counts = Vec::new();
+        let mut n = 1u64;
+        while n <= self.shards {
+            counts.push(n as usize);
+            let Some(next) = n.checked_mul(2) else { break };
+            n = next;
+        }
+        counts
     }
 
     /// A deliberately tiny configuration for tests: smoke scale, one
@@ -106,6 +125,7 @@ impl RunConfig {
             nvram_ns: 125,
             crash_work_ms: 5,
             memtier_ops: 2_000,
+            shards: 2,
         }
     }
 
@@ -142,6 +162,7 @@ impl RunConfig {
             ("NVRAM_NS".into(), self.nvram_ns.to_string()),
             ("CRASH_WORK_MS".into(), self.crash_work_ms.to_string()),
             ("MEMTIER_OPS".into(), self.memtier_ops.to_string()),
+            ("SHARDS".into(), self.shards.to_string()),
         ]
     }
 }

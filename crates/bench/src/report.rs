@@ -713,6 +713,20 @@ fn median_map(doc: &Json) -> Vec<((String, String), f64)> {
     out
 }
 
+/// How many of `current`'s throughput rows have a matching
+/// `(experiment id, label)` in `baseline` — i.e. the rows [`compare`]
+/// actually gates — alongside `current`'s total. Unmatched rows are
+/// skipped silently by [`compare`] (different scale, new or retired
+/// configurations); callers should surface this count so the gate's real
+/// coverage is visible instead of implied.
+pub fn baseline_coverage(current: &Json, baseline: &Json) -> (usize, usize) {
+    let base: std::collections::HashSet<(String, String)> =
+        median_map(baseline).into_iter().map(|(k, _)| k).collect();
+    let cur = median_map(current);
+    let matched = cur.iter().filter(|(k, _)| base.contains(k)).count();
+    (matched, cur.len())
+}
+
 /// Compares two parsed `BENCH_results.json` documents and returns every
 /// measurement whose median throughput dropped by more than
 /// `threshold_pct` percent relative to `baseline`.

@@ -147,6 +147,30 @@ fn fig5_report_has_the_documented_schema_shape() {
     }
 }
 
+/// Runs the real fig12 shard sweep at smoke-test scale: one row per
+/// shard count from the `SHARDS` knob, each with a throughput, a
+/// `shards` metric, and a parallel-recovery time.
+#[test]
+fn fig12_report_sweeps_the_configured_shard_counts() {
+    let cfg = RunConfig::smoke_test();
+    let report = experiments::fig12_shards(&cfg);
+    assert_eq!(report.id, "fig12_shards");
+    let want: Vec<usize> = cfg.shard_counts();
+    assert_eq!(want, vec![1, 2], "smoke_test sweeps shard counts {{1, 2}}");
+    assert_eq!(report.measurements.len(), want.len());
+    for (m, n) in report.measurements.iter().zip(&want) {
+        assert_eq!(m.label, format!("shards={n} range={}", m.size.unwrap()));
+        let metrics: std::collections::HashMap<&str, f64> =
+            m.metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        assert_eq!(metrics["shards"], *n as f64);
+        assert!(m.median_throughput.unwrap() > 0.0, "shards={n} measured nothing");
+        assert_eq!(m.repeat_throughputs.len(), cfg.repeats);
+        assert!(metrics["recovery_ms"] >= 0.0);
+        let flush = m.flush.expect("durable run reports flush stats");
+        assert!(flush.fences > 0, "a durable run must fence");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Baseline regression detection
 // ---------------------------------------------------------------------------
@@ -164,6 +188,16 @@ fn results_with_throughputs(pairs: &[(&str, f64)]) -> Json {
     fig10.measurements.push(Measurement::new("ht size=128").metric("recovery_ns", 1e6));
     let results = BenchResults::collect(vec![], vec![report, fig10]);
     Json::parse(&results.to_json().render_pretty()).expect("own output parses")
+}
+
+#[test]
+fn baseline_coverage_counts_matched_rows_only() {
+    use bench::report::baseline_coverage;
+    let baseline = results_with_throughputs(&[("a", 1000.0), ("retired", 500.0)]);
+    let current = results_with_throughputs(&[("a", 900.0), ("brand-new", 2000.0)]);
+    // Throughput rows only: "a" matches, "brand-new" doesn't; the
+    // throughput-free fig10 row never counts on either side.
+    assert_eq!(baseline_coverage(&current, &baseline), (1, 2));
 }
 
 #[test]

@@ -195,7 +195,7 @@ pub fn crash_at<T: CrashTarget>(
 
 /// Seeded stratified selection of up to `sample` points from `0..total`:
 /// one uniform draw per stratum, so no event range is skipped entirely.
-fn select_points(total: u64, sample: Option<usize>, seed: u64) -> Vec<u64> {
+pub(crate) fn select_points(total: u64, sample: Option<usize>, seed: u64) -> Vec<u64> {
     match sample {
         Some(s) if (s as u64) < total => {
             let s = s as u64;

@@ -38,6 +38,7 @@
 
 pub mod driver;
 pub mod oracle;
+pub mod sharded;
 pub mod target;
 pub mod trace;
 
@@ -46,6 +47,7 @@ pub use driver::{
     TortureReport,
 };
 pub use oracle::{OracleConfig, Violation};
+pub use sharded::{count_sharded_events, run_sharded_crash_points, sharded_crash_at};
 pub use target::{BstTarget, CrashTarget, HashTarget, ListTarget, MemcachedTarget, SkipTarget};
 pub use trace::{gen_trace, OpMix, TraceOp};
 

@@ -142,7 +142,7 @@ pub struct MemcachedTarget {
 }
 
 /// Soft capacity far above any trace size: eviction must never fire.
-const MC_CAPACITY: usize = 1 << 30;
+pub(crate) const MC_CAPACITY: usize = 1 << 30;
 
 impl CrashTarget for MemcachedTarget {
     const NAME: &'static str = "NvMemcached";

@@ -8,9 +8,9 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crashtest::{
-    count_events, run_crash_points, run_torture, seed_from_env, BstTarget, CrashConfig,
-    CrashTarget, HashTarget, ListTarget, MemcachedTarget, OpMix, SkipTarget, TortureConfig,
-    TraceOp,
+    count_events, count_sharded_events, run_crash_points, run_sharded_crash_points, run_torture,
+    seed_from_env, BstTarget, CrashConfig, CrashTarget, HashTarget, ListTarget, MemcachedTarget,
+    OpMix, SkipTarget, TortureConfig, TraceOp,
 };
 use nvalloc::{NvDomain, RecoveryReport, ThreadCtx};
 use pmem::PmemPool;
@@ -42,6 +42,33 @@ fn bst_survives_every_crash_point() {
 #[test]
 fn nv_memcached_survives_every_crash_point() {
     run_crash_points::<MemcachedTarget>(&cfg()).assert_clean();
+}
+
+#[test]
+fn sharded_nv_memcached_survives_every_crash_point() {
+    // 4 shards: the crash lands in one shard's event stream while the
+    // others hold committed state — the per-shard oracles, the routing
+    // containment check and the per-shard leak audits all must pass at
+    // every global crash point.
+    run_sharded_crash_points(&cfg(), 4).assert_clean();
+}
+
+#[test]
+fn sharded_routing_with_odd_shard_count_survives() {
+    // A non-power-of-two shard count exercises the modulo router.
+    let mut c = cfg();
+    c.trace_len = 32;
+    run_sharded_crash_points(&c, 3).assert_clean();
+}
+
+#[test]
+fn sharded_count_phase_is_deterministic() {
+    let c = cfg();
+    let (plan_a, spans_a, trace_a) = count_sharded_events(&c, 4);
+    let (plan_b, spans_b, trace_b) = count_sharded_events(&c, 4);
+    assert_eq!(plan_a.events(), plan_b.events(), "event totals must replay exactly");
+    assert_eq!(spans_a, spans_b, "op spans must replay exactly");
+    assert_eq!(trace_a, trace_b, "traces must regenerate exactly");
 }
 
 #[test]

@@ -217,6 +217,18 @@ pub struct RecoveryReport {
     pub used_full_scan: bool,
 }
 
+impl RecoveryReport {
+    /// Counter-wise accumulation: sums the scan counters and ORs the
+    /// full-scan flag. Used to merge the per-shard reports of a parallel
+    /// recovery (e.g. `ShardedNvMemcached::recover`) into one aggregate.
+    pub fn merge(&mut self, other: RecoveryReport) {
+        self.pages_scanned += other.pages_scanned;
+        self.slots_scanned += other.slots_scanned;
+        self.leaks_freed += other.leaks_freed;
+        self.used_full_scan |= other.used_full_scan;
+    }
+}
+
 /// Callback run after an APT trim writes back evicted entries (the link
 /// cache registers its flush here so trimmed pages stay durable).
 pub type TrimHook = Box<dyn FnMut(&mut Flusher) + Send>;
@@ -665,6 +677,34 @@ mod tests {
             ctx.end_op();
         }
         assert!(RAN.load(AOrd::SeqCst), "hook must run when the APT trims");
+    }
+
+    #[test]
+    fn recovery_report_merge_sums_counters_and_ors_fallback() {
+        let mut a = RecoveryReport {
+            pages_scanned: 2,
+            slots_scanned: 10,
+            leaks_freed: 1,
+            used_full_scan: false,
+        };
+        a.merge(RecoveryReport {
+            pages_scanned: 3,
+            slots_scanned: 7,
+            leaks_freed: 0,
+            used_full_scan: true,
+        });
+        assert_eq!(
+            a,
+            RecoveryReport {
+                pages_scanned: 5,
+                slots_scanned: 17,
+                leaks_freed: 1,
+                used_full_scan: true,
+            }
+        );
+        let mut b = RecoveryReport::default();
+        b.merge(RecoveryReport::default());
+        assert_eq!(b, RecoveryReport::default());
     }
 
     #[test]

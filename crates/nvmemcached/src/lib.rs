@@ -24,10 +24,11 @@
 //! 8 bytes as in the paper's data-structure experiments (§6.1); larger
 //! values are accommodated by indirection, as the paper notes.
 
+pub mod evict;
 pub mod memtier;
+pub mod sharded;
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use linkcache::LinkCache;
@@ -36,19 +37,26 @@ use nvalloc::{NvDomain, OutOfMemory, RecoveryReport, ThreadCtx};
 use parking_lot::Mutex;
 use pmem::{Flusher, PmemPool};
 
+use crate::evict::EvictQueue;
+use crate::memtier::{MemtierCache, ReqOutcome, Request};
+
+pub use crate::sharded::{GeometryError, ShardedCtx, ShardedNvMemcached};
+
 /// Root-directory slot used by the NV-Memcached hash table.
 pub const NVMC_ROOT: usize = 8;
 
-/// The durable cache.
+/// The durable cache. One `NvMemcached` is exactly one *shard*: it owns
+/// its pool, allocation domain, hash table and eviction queue, and
+/// [`sharded::ShardedNvMemcached`] composes N of them behind a routing
+/// hash.
 pub struct NvMemcached {
     domain: Arc<NvDomain>,
     table: HashTable,
     /// Soft item capacity; beyond it, sets evict the oldest tracked key.
     capacity: usize,
-    items: AtomicU64,
-    /// Coarse FIFO eviction queue (volatile, approximate — like
-    /// memcached's LRU it is advisory, not exact).
-    evict_queue: Mutex<std::collections::VecDeque<u64>>,
+    /// Per-shard FIFO eviction queue + item accounting (volatile,
+    /// approximate — like memcached's LRU it is advisory, not exact).
+    evict: EvictQueue,
 }
 
 impl NvMemcached {
@@ -67,13 +75,7 @@ impl NvMemcached {
         });
         let ops = LinkOps::new(Arc::clone(&pool), lc);
         let table = HashTable::create(&domain, NVMC_ROOT, n_buckets, ops)?;
-        Ok(Self {
-            domain,
-            table,
-            capacity,
-            items: AtomicU64::new(0),
-            evict_queue: Mutex::new(std::collections::VecDeque::new()),
-        })
+        Ok(Self { domain, table, capacity, evict: EvictQueue::new() })
     }
 
     /// Re-attaches to a crashed cache image, repairs the table, and frees
@@ -86,19 +88,8 @@ impl NvMemcached {
         let mut flusher = pool.flusher();
         table.recover(&mut flusher);
         let report = domain.recover_leaks(|addr| table.contains_node_at(addr));
-        let snapshot = table.snapshot();
-        let items = snapshot.len() as u64;
-        let queue = snapshot.iter().map(|&(k, _)| k).collect();
-        (
-            Self {
-                domain,
-                table,
-                capacity,
-                items: AtomicU64::new(items),
-                evict_queue: Mutex::new(queue),
-            },
-            report,
-        )
+        let evict = EvictQueue::rebuild(table.snapshot().iter().map(|&(k, _)| k));
+        (Self { domain, table, capacity, evict }, report)
     }
 
     /// The allocation domain (register worker threads here).
@@ -113,7 +104,7 @@ impl NvMemcached {
 
     /// Current (approximate) item count.
     pub fn len(&self) -> usize {
-        self.items.load(Ordering::Relaxed) as usize
+        self.evict.len()
     }
 
     /// Whether the cache is empty.
@@ -122,21 +113,18 @@ impl NvMemcached {
     }
 
     /// Stores `key -> value` (memcached `set`: upsert). Evicts the oldest
-    /// tracked key when over capacity.
+    /// tracked keys until the count is back at the soft capacity.
     pub fn set(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Result<(), OutOfMemory> {
         loop {
             if self.table.insert(ctx, key, value)? {
-                self.items.fetch_add(1, Ordering::Relaxed);
-                self.evict_queue.lock().push_back(key);
-                if self.len() > self.capacity {
-                    self.evict_one(ctx);
-                }
+                self.evict.note_insert(key);
+                self.enforce_capacity(ctx);
                 return Ok(());
             }
             // Key exists: replace (remove + reinsert; a cache tolerates
             // the transient miss window).
             if self.table.remove(ctx, key).is_some() {
-                self.items.fetch_sub(1, Ordering::Relaxed);
+                self.evict.note_remove();
             }
         }
     }
@@ -150,7 +138,7 @@ impl NvMemcached {
     pub fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
         let v = self.table.remove(ctx, key);
         if v.is_some() {
-            self.items.fetch_sub(1, Ordering::Relaxed);
+            self.evict.note_remove();
         }
         v
     }
@@ -160,8 +148,8 @@ impl NvMemcached {
     pub fn add(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
         let stored = self.table.insert(ctx, key, value)?;
         if stored {
-            self.items.fetch_add(1, Ordering::Relaxed);
-            self.evict_queue.lock().push_back(key);
+            self.evict.note_insert(key);
+            self.enforce_capacity(ctx);
         }
         Ok(stored)
     }
@@ -174,7 +162,7 @@ impl NvMemcached {
                 return Ok(false);
             }
             if self.table.remove(ctx, key).is_some() {
-                self.items.fetch_sub(1, Ordering::Relaxed);
+                self.evict.note_remove();
                 self.set(ctx, key, value)?;
                 return Ok(true);
             }
@@ -182,16 +170,8 @@ impl NvMemcached {
         }
     }
 
-    fn evict_one(&self, ctx: &mut ThreadCtx) {
-        // Pop victims until one is actually removed (entries may be
-        // stale after deletes/replacements).
-        for _ in 0..16 {
-            let Some(victim) = self.evict_queue.lock().pop_front() else { return };
-            if self.table.remove(ctx, victim).is_some() {
-                self.items.fetch_sub(1, Ordering::Relaxed);
-                return;
-            }
-        }
+    fn enforce_capacity(&self, ctx: &mut ThreadCtx) {
+        self.evict.enforce(self.capacity, |victim| self.table.remove(ctx, victim).is_some());
     }
 
     /// Durability barrier: flush any link-cache residue (used before
@@ -292,6 +272,51 @@ impl ClhtMemcached {
     /// Deletes `key`.
     pub fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
         self.table.remove(ctx, key)
+    }
+}
+
+impl MemtierCache for NvMemcached {
+    type Conn = ThreadCtx;
+
+    fn connect(&self) -> ThreadCtx {
+        self.register()
+    }
+
+    fn exec(&self, ctx: &mut ThreadCtx, req: Request) -> ReqOutcome {
+        memtier::exec_kv(
+            ctx,
+            req,
+            |c, k, v| self.set(c, k, v).expect("pool sized for workload"),
+            |c, k| self.get(c, k).is_some(),
+        )
+    }
+}
+
+impl MemtierCache for ClhtMemcached {
+    type Conn = ThreadCtx;
+
+    fn connect(&self) -> ThreadCtx {
+        self.register()
+    }
+
+    fn exec(&self, ctx: &mut ThreadCtx, req: Request) -> ReqOutcome {
+        memtier::exec_kv(
+            ctx,
+            req,
+            |c, k, v| self.set(c, k, v).expect("pool sized for workload"),
+            |c, k| self.get(c, k).is_some(),
+        )
+    }
+}
+
+impl MemtierCache for VolatileMemcached {
+    /// No per-thread state: the lock is the connection.
+    type Conn = ();
+
+    fn connect(&self) {}
+
+    fn exec(&self, conn: &mut (), req: Request) -> ReqOutcome {
+        memtier::exec_kv(conn, req, |_, k, v| self.set(k, v), |_, k| self.get(k).is_some())
     }
 }
 

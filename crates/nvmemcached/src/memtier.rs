@@ -130,6 +130,68 @@ impl RunResult {
     }
 }
 
+/// A cache the memtier driver can run against: per-worker connection
+/// state plus one entry point executing a request and reporting what the
+/// cache did with it.
+///
+/// Implemented by every system under test ([`crate::NvMemcached`],
+/// [`crate::ClhtMemcached`], [`crate::VolatileMemcached`], and the
+/// sharded [`crate::ShardedNvMemcached`]) so one driver —
+/// [`run_cache`] — produces the same [`RunResult`] counters for all of
+/// them.
+pub trait MemtierCache: Sync {
+    /// Per-worker connection state (thread contexts and the like),
+    /// created before the timed window opens.
+    type Conn: Send;
+
+    /// Creates one worker's connection (e.g. registers its thread
+    /// contexts).
+    fn connect(&self) -> Self::Conn;
+
+    /// Executes one request and reports its outcome.
+    fn exec(&self, conn: &mut Self::Conn, req: Request) -> ReqOutcome;
+}
+
+/// Maps one request onto a cache's set/get entry points and classifies
+/// the outcome — the shared body of every [`MemtierCache::exec`]
+/// implementation, so the counter semantics cannot drift between
+/// systems.
+pub fn exec_kv<C>(
+    conn: &mut C,
+    req: Request,
+    set: impl FnOnce(&mut C, u64, u64),
+    get: impl FnOnce(&mut C, u64) -> bool,
+) -> ReqOutcome {
+    match req {
+        Request::Set(k, v) => {
+            set(conn, k, v);
+            ReqOutcome::Set
+        }
+        Request::Get(k) => {
+            if get(conn, k) {
+                ReqOutcome::Hit
+            } else {
+                ReqOutcome::Miss
+            }
+        }
+    }
+}
+
+/// Runs the timed workload against any [`MemtierCache`]: `ops_per_thread`
+/// requests on each of `threads` workers, aggregated into one
+/// [`RunResult`]. Thin wrapper over [`run_threads`].
+pub fn run_cache<C: MemtierCache>(
+    cache: &C,
+    threads: usize,
+    ops_per_thread: u64,
+    workload: Workload,
+) -> RunResult {
+    run_threads(threads, ops_per_thread, workload, |_t| {
+        let mut conn = cache.connect();
+        move |req| cache.exec(&mut conn, req)
+    })
+}
+
 /// Runs `ops_per_thread` requests on each of `threads` workers.
 /// `make_worker(tid)` returns the per-thread closure executing one
 /// request (capturing the system under test and its thread context) and

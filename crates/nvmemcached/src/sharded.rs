@@ -1,0 +1,527 @@
+//! **Sharded NV-Memcached**: N independent [`NvMemcached`] shards behind
+//! a routing hash.
+//!
+//! Real memcached deployments scale by partitioning; the durable cache
+//! partitions the same way. Each shard owns its *own* [`PmemPool`],
+//! [`nvalloc::NvDomain`], hash table and eviction queue, so shards share
+//! no memory, no locks and no durable state — the only cross-shard
+//! coupling is the volatile routing function [`shard_of`]. That
+//! independence buys three things:
+//!
+//! * **Throughput**: the per-shard eviction-queue mutex, heap page lists,
+//!   epoch vectors and (in crash-sim mode) shadow word arrays are no
+//!   longer contended across the whole cache.
+//! * **Parallel recovery**: after a crash every shard repairs its table
+//!   and reclaims its leaks on its own thread
+//!   ([`ShardedNvMemcached::recover`]), and the per-shard
+//!   [`RecoveryReport`]s are merged into one aggregate.
+//! * **Fault isolation**: a crash mid-operation can leave in-flight state
+//!   in at most the shard the operation routed to; every other shard
+//!   recovers exactly its completed history. The crashtest subsystem
+//!   enumerates crash points over the sharded cache to validate exactly
+//!   this invariant (see `crashtest::run_sharded_crash_points`).
+//!
+//! # Durable geometry
+//!
+//! Each shard's pool records `(cache_id, shard_count, shard_index)` in
+//! root slot [`SHARD_GEOMETRY_ROOT`], durably written at creation (the
+//! cache id ties every pool to the `create` call that formatted it).
+//! [`ShardedNvMemcached::recover`] validates the recorded geometry against
+//! the pools it is given *before* touching any data — opening with the
+//! wrong pool count, pools mixed in from a different cache, or pools in
+//! the wrong order fails with a [`GeometryError`] instead of serving
+//! scrambled routing.
+//!
+//! `ShardedNvMemcached` over a single shard is behaviorally identical to
+//! a standalone [`NvMemcached`] (the shard *is* an `NvMemcached`; with
+//! `n = 1` the router is constant), which keeps single-system paper
+//! comparisons honest.
+
+use std::sync::Arc;
+
+use nvalloc::{OutOfMemory, RecoveryReport, ThreadCtx};
+use pmem::{FlushStats, PmemPool};
+
+use crate::memtier::{MemtierCache, ReqOutcome, Request};
+use crate::NvMemcached;
+
+/// Root-directory slot recording `(shard_count, shard_index)` in every
+/// shard pool (distinct from [`crate::NVMC_ROOT`], which anchors the
+/// shard's hash table).
+pub const SHARD_GEOMETRY_ROOT: usize = 9;
+
+/// Routes `key` to a shard index in `0..n_shards`.
+///
+/// Uses the splitmix64 finalizer — deliberately *not* the Fibonacci
+/// multiply the per-shard hash table derives its bucket index from, so
+/// the bit ranges are decorrelated and the keys of one shard still
+/// spread uniformly over that shard's buckets.
+#[inline]
+pub fn shard_of(key: u64, n_shards: usize) -> usize {
+    let mut x = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % n_shards.max(1) as u64) as usize
+}
+
+/// Why a set of pools was rejected by [`ShardedNvMemcached::recover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// No pools were given.
+    NoPools,
+    /// The pool at `position` has no shard geometry recorded (it never
+    /// belonged to a sharded cache, or the record was never made
+    /// durable).
+    NotSharded {
+        /// Index of the offending pool in the given slice.
+        position: usize,
+    },
+    /// The pool at `position` records a different shard count than the
+    /// number of pools given.
+    ShardCount {
+        /// Index of the offending pool in the given slice.
+        position: usize,
+        /// The shard count durably recorded in that pool.
+        recorded: u32,
+        /// The number of pools actually given.
+        given: usize,
+    },
+    /// The pool at `position` records a different shard index — the
+    /// pools belong to this geometry but were passed in the wrong order
+    /// (routing would scramble).
+    ShardIndex {
+        /// Index of the offending pool in the given slice.
+        position: usize,
+        /// The shard index durably recorded in that pool.
+        recorded: u32,
+    },
+    /// The pool at `position` records a different cache id than pool 0 —
+    /// the pools come from two different sharded caches whose layouts
+    /// merely happen to match (mixing them would silently serve a
+    /// frankenstein key space).
+    CacheMismatch {
+        /// Index of the offending pool in the given slice.
+        position: usize,
+        /// Cache id recorded in pool 0.
+        expected: u32,
+        /// Cache id recorded in this pool.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            GeometryError::NoPools => write!(f, "no shard pools given"),
+            GeometryError::NotSharded { position } => {
+                write!(f, "pool {position} has no shard geometry recorded")
+            }
+            GeometryError::ShardCount { position, recorded, given } => write!(
+                f,
+                "pool {position} records {recorded} shard(s) but {given} pool(s) were given"
+            ),
+            GeometryError::ShardIndex { position, recorded } => write!(
+                f,
+                "pool at position {position} records shard index {recorded} (pools out of order)"
+            ),
+            GeometryError::CacheMismatch { position, expected, found } => write!(
+                f,
+                "pool {position} records cache id {found:#x} but pool 0 records {expected:#x} \
+                 (pools from different sharded caches)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// Geometry word layout: `[cache_id:32][shard_count:16][shard_index:16]`.
+/// The cache id ties a pool to the `create` call that formatted it, so
+/// pools from two different caches with the same `(count, index)` layout
+/// cannot be mixed; ids are never zero, so a valid word is never zero.
+fn pack_geometry(cache_id: u32, count: usize, index: usize) -> u64 {
+    assert!(count <= u16::MAX as usize, "shard count {count} exceeds the geometry word");
+    ((cache_id as u64) << 32) | ((count as u64) << 16) | index as u64
+}
+
+fn unpack_geometry(word: u64) -> (u32, u32, u32) {
+    ((word >> 32) as u32, ((word >> 16) & 0xFFFF) as u32, (word & 0xFFFF) as u32)
+}
+
+/// A fresh (non-zero, process-unique, time-salted) cache id.
+fn fresh_cache_id() -> u32 {
+    use std::sync::atomic::AtomicU32;
+    static NEXT: AtomicU32 = AtomicU32::new(1);
+    let salt = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed) as u64;
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut x = nanos ^ (salt << 32) ^ salt;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (((x >> 32) ^ x) as u32).max(1)
+}
+
+/// The durable cache, partitioned into independent shards.
+pub struct ShardedNvMemcached {
+    shards: Box<[NvMemcached]>,
+}
+
+impl std::fmt::Debug for ShardedNvMemcached {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedNvMemcached")
+            .field("n_shards", &self.shards.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Per-worker operation state: one [`ThreadCtx`] per shard (each shard is
+/// its own allocation domain). Create via
+/// [`ShardedNvMemcached::register`].
+pub struct ShardedCtx {
+    ctxs: Box<[ThreadCtx]>,
+}
+
+impl ShardedCtx {
+    /// The context registered with shard `i` (for direct shard access in
+    /// tests and recovery tooling).
+    pub fn shard_ctx(&mut self, i: usize) -> &mut ThreadCtx {
+        &mut self.ctxs[i]
+    }
+
+    /// Drains every shard context's deferred reclamation. Only safe when
+    /// no other worker is running operations (shutdown/tests).
+    pub fn drain_all(&mut self) {
+        for ctx in self.ctxs.iter_mut() {
+            ctx.drain_all();
+        }
+    }
+}
+
+impl ShardedNvMemcached {
+    /// Creates a fresh sharded cache: one shard per pool, each with
+    /// `n_buckets` buckets, splitting the soft `capacity` evenly, and
+    /// durably records the shard geometry in every pool.
+    pub fn create(
+        pools: &[Arc<PmemPool>],
+        n_buckets: usize,
+        capacity: usize,
+        use_link_cache: bool,
+    ) -> Result<Self, OutOfMemory> {
+        assert!(!pools.is_empty(), "a sharded cache needs at least one pool");
+        let n = pools.len();
+        let cache_id = fresh_cache_id();
+        let per_shard_capacity = capacity.div_ceil(n);
+        let mut shards = Vec::with_capacity(n);
+        for (i, pool) in pools.iter().enumerate() {
+            let shard = NvMemcached::create(
+                Arc::clone(pool),
+                n_buckets,
+                per_shard_capacity,
+                use_link_cache,
+            )?;
+            let mut flusher = pool.flusher();
+            pool.set_root(SHARD_GEOMETRY_ROOT, pack_geometry(cache_id, n, i), &mut flusher);
+            shards.push(shard);
+        }
+        Ok(Self { shards: shards.into_boxed_slice() })
+    }
+
+    /// Validates the durable shard geometry of `pools` without recovering
+    /// anything: every pool must record this exact `(count, position)`
+    /// layout.
+    pub fn validate_geometry(pools: &[Arc<PmemPool>]) -> Result<(), GeometryError> {
+        if pools.is_empty() {
+            return Err(GeometryError::NoPools);
+        }
+        let mut expected_id = None;
+        for (position, pool) in pools.iter().enumerate() {
+            let word = pool.root(SHARD_GEOMETRY_ROOT);
+            if word == 0 {
+                return Err(GeometryError::NotSharded { position });
+            }
+            let (cache_id, count, index) = unpack_geometry(word);
+            let expected = *expected_id.get_or_insert(cache_id);
+            if cache_id != expected {
+                return Err(GeometryError::CacheMismatch { position, expected, found: cache_id });
+            }
+            if count as usize != pools.len() {
+                return Err(GeometryError::ShardCount {
+                    position,
+                    recorded: count,
+                    given: pools.len(),
+                });
+            }
+            if index as usize != position {
+                return Err(GeometryError::ShardIndex { position, recorded: index });
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-attaches to a crashed sharded cache: validates the recorded
+    /// geometry against `pools`, then recovers every shard **in
+    /// parallel** (one thread per shard — each repairs its table and
+    /// reclaims its leaks independently) and merges the per-shard
+    /// [`RecoveryReport`]s into one aggregate.
+    pub fn recover(
+        pools: &[Arc<PmemPool>],
+        capacity: usize,
+    ) -> Result<(Self, RecoveryReport), GeometryError> {
+        Self::validate_geometry(pools)?;
+        let per_shard_capacity = capacity.div_ceil(pools.len());
+        let recovered: Vec<(NvMemcached, RecoveryReport)> = std::thread::scope(|s| {
+            let handles: Vec<_> = pools
+                .iter()
+                .map(|pool| {
+                    let pool = Arc::clone(pool);
+                    s.spawn(move || NvMemcached::recover(pool, per_shard_capacity))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard recovery panicked")).collect()
+        });
+        let mut report = RecoveryReport::default();
+        let mut shards = Vec::with_capacity(recovered.len());
+        for (shard, shard_report) in recovered {
+            report.merge(shard_report);
+            shards.push(shard);
+        }
+        Ok((Self { shards: shards.into_boxed_slice() }, report))
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (crashtest oracles address them directly).
+    pub fn shards(&self) -> &[NvMemcached] {
+        &self.shards
+    }
+
+    /// The shard `key` routes to.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_of(key, self.shards.len())
+    }
+
+    /// Registers the calling worker thread with every shard.
+    pub fn register(&self) -> ShardedCtx {
+        ShardedCtx { ctxs: self.shards.iter().map(NvMemcached::register).collect() }
+    }
+
+    /// Total (approximate) item count over all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(NvMemcached::len).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stores `key -> value` (memcached `set`: upsert) in the routed
+    /// shard.
+    pub fn set(&self, ctx: &mut ShardedCtx, key: u64, value: u64) -> Result<(), OutOfMemory> {
+        let s = self.shard_of(key);
+        self.shards[s].set(&mut ctx.ctxs[s], key, value)
+    }
+
+    /// Fetches `key` (memcached `get`) from the routed shard.
+    pub fn get(&self, ctx: &mut ShardedCtx, key: u64) -> Option<u64> {
+        let s = self.shard_of(key);
+        self.shards[s].get(&mut ctx.ctxs[s], key)
+    }
+
+    /// Deletes `key` (memcached `delete`) from the routed shard.
+    pub fn delete(&self, ctx: &mut ShardedCtx, key: u64) -> Option<u64> {
+        let s = self.shard_of(key);
+        self.shards[s].delete(&mut ctx.ctxs[s], key)
+    }
+
+    /// Memcached `add`: stores only if the key is absent.
+    pub fn add(&self, ctx: &mut ShardedCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
+        let s = self.shard_of(key);
+        self.shards[s].add(&mut ctx.ctxs[s], key, value)
+    }
+
+    /// Memcached `replace`: stores only if the key is present.
+    pub fn replace(&self, ctx: &mut ShardedCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
+        let s = self.shard_of(key);
+        self.shards[s].replace(&mut ctx.ctxs[s], key, value)
+    }
+
+    /// Durability barrier over every shard (flushes link-cache residue).
+    pub fn quiesce(&self) {
+        for shard in self.shards.iter() {
+            let mut flusher = shard.domain().pool().flusher();
+            shard.quiesce(&mut flusher);
+        }
+    }
+
+    /// Merged lifetime [`FlushStats`] over every shard pool (same
+    /// snapshot-pair discipline as [`PmemPool::flush_stats`]).
+    pub fn flush_stats(&self) -> FlushStats {
+        let mut total = FlushStats::default();
+        for shard in self.shards.iter() {
+            total.merge(shard.domain().pool().flush_stats());
+        }
+        total
+    }
+
+    /// Quiescent snapshot of every shard's live pairs (order
+    /// unspecified).
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.shards.iter().flat_map(NvMemcached::snapshot).collect()
+    }
+}
+
+impl MemtierCache for ShardedNvMemcached {
+    type Conn = ShardedCtx;
+
+    fn connect(&self) -> ShardedCtx {
+        self.register()
+    }
+
+    fn exec(&self, ctx: &mut ShardedCtx, req: Request) -> ReqOutcome {
+        crate::memtier::exec_kv(
+            ctx,
+            req,
+            |c, k, v| self.set(c, k, v).expect("pool sized for workload"),
+            |c, k| self.get(c, k).is_some(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::{LatencyModel, Mode, PoolBuilder};
+
+    fn pools(n: usize, mode: Mode) -> Vec<Arc<PmemPool>> {
+        (0..n)
+            .map(|_| PoolBuilder::new(16 << 20).mode(mode).latency(LatencyModel::ZERO).build())
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_total_and_stable() {
+        for n in [1usize, 2, 4, 8] {
+            for key in 1..=1000u64 {
+                let s = shard_of(key, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(key, n), "routing is deterministic");
+            }
+        }
+        // Keys spread over every shard (no degenerate routing).
+        let mut seen = [false; 8];
+        for key in 1..=1000u64 {
+            seen[shard_of(key, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 shards receive keys");
+    }
+
+    #[test]
+    fn set_get_delete_route_consistently() {
+        let pools = pools(4, Mode::Perf);
+        let mc = ShardedNvMemcached::create(&pools, 64, 10_000, false).unwrap();
+        let mut ctx = mc.register();
+        for k in 1..=200u64 {
+            mc.set(&mut ctx, k, k * 3).unwrap();
+        }
+        for k in 1..=200u64 {
+            assert_eq!(mc.get(&mut ctx, k), Some(k * 3));
+        }
+        assert_eq!(mc.len(), 200);
+        for k in 1..=100u64 {
+            assert_eq!(mc.delete(&mut ctx, k), Some(k * 3));
+        }
+        assert_eq!(mc.len(), 100);
+        // Every shard holds only keys that route to it.
+        for (i, shard) in mc.shards().iter().enumerate() {
+            for (k, _) in shard.snapshot() {
+                assert_eq!(mc.shard_of(k), i, "key {k} stored in wrong shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_replace_route() {
+        let pools = pools(2, Mode::Perf);
+        let mc = ShardedNvMemcached::create(&pools, 64, 1000, false).unwrap();
+        let mut ctx = mc.register();
+        assert!(mc.add(&mut ctx, 5, 50).unwrap());
+        assert!(!mc.add(&mut ctx, 5, 51).unwrap());
+        assert!(mc.replace(&mut ctx, 5, 52).unwrap());
+        assert!(!mc.replace(&mut ctx, 6, 60).unwrap());
+        assert_eq!(mc.get(&mut ctx, 5), Some(52));
+        assert_eq!(mc.len(), 1);
+    }
+
+    #[test]
+    fn capacity_splits_across_shards() {
+        let pools = pools(4, Mode::Perf);
+        let mc = ShardedNvMemcached::create(&pools, 64, 100, false).unwrap();
+        let mut ctx = mc.register();
+        for k in 1..=1000u64 {
+            mc.set(&mut ctx, k, k).unwrap();
+        }
+        // Soft capacity: ceil(100/4) = 25 per shard, 100 total (+ race
+        // slack; single-threaded here, so exact).
+        assert!(mc.len() <= 100, "soft capacity respected (len = {})", mc.len());
+        for shard in mc.shards() {
+            assert!(shard.len() <= 25, "per-shard capacity respected");
+        }
+    }
+
+    #[test]
+    fn completed_sets_survive_crash_and_recover_in_parallel() {
+        let pools = pools(4, Mode::CrashSim);
+        {
+            let mc = ShardedNvMemcached::create(&pools, 64, 100_000, false).unwrap();
+            let mut ctx = mc.register();
+            for k in 1..=400u64 {
+                mc.set(&mut ctx, k, k * 2).unwrap();
+            }
+            for k in 1..=100u64 {
+                mc.delete(&mut ctx, k);
+            }
+        }
+        for pool in &pools {
+            // SAFETY: no threads are running.
+            unsafe { pool.simulate_crash().unwrap() };
+        }
+        let (mc2, report) = ShardedNvMemcached::recover(&pools, 100_000).unwrap();
+        assert!(!report.used_full_scan);
+        let mut ctx = mc2.register();
+        for k in 1..=100u64 {
+            assert_eq!(mc2.get(&mut ctx, k), None, "deleted key {k} stayed deleted");
+        }
+        for k in 101..=400u64 {
+            assert_eq!(mc2.get(&mut ctx, k), Some(k * 2), "key {k} recovered");
+        }
+        assert_eq!(mc2.len(), 300);
+        // The recovered cache keeps serving.
+        mc2.set(&mut ctx, 9999, 1).unwrap();
+        assert_eq!(mc2.get(&mut ctx, 9999), Some(1));
+    }
+
+    #[test]
+    fn geometry_pack_round_trips() {
+        for (id, count, index) in [(1u32, 1usize, 0usize), (0xDEAD_BEEF, 8, 7), (7, 65_535, 42)] {
+            let (rid, c, i) = unpack_geometry(pack_geometry(id, count, index));
+            assert_eq!((rid, c as usize, i as usize), (id, count, index));
+        }
+    }
+
+    #[test]
+    fn cache_ids_are_nonzero_and_distinct() {
+        let a = fresh_cache_id();
+        let b = fresh_cache_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b, "two create calls in one process get distinct ids");
+    }
+}

@@ -69,6 +69,6 @@ pub mod prelude {
     pub use linkcache::LinkCache;
     pub use logfree::{Bst, HashTable, LinkOps, LinkedList, SkipList};
     pub use nvalloc::{MemMode, NvDomain, ThreadCtx};
-    pub use nvmemcached::NvMemcached;
+    pub use nvmemcached::{NvMemcached, ShardedNvMemcached};
     pub use pmem::{LatencyModel, Mode, PmemPool, PoolBuilder};
 }
