@@ -1,6 +1,7 @@
-//! Runs the **entire experiment registry** (Table 1 + Figures 5–11) and
-//! writes the machine-readable `BENCH_results.json` at the current
-//! working directory (the repository root under
+//! Runs the **entire experiment registry** (Table 1, Figures 5–11, and
+//! the beyond-paper shard and skew sweeps) and writes the
+//! machine-readable `BENCH_results.json` at the current working
+//! directory (the repository root under
 //! `cargo run -p bench --bin bench_all`).
 //!
 //! Sizing follows the usual knobs: CI-sized by default, `FULL=1` for

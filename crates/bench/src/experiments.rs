@@ -17,6 +17,8 @@ use nvmemcached::memtier::{run_cache, RunResult, Workload};
 use nvmemcached::{ClhtMemcached, NvMemcached, ShardedNvMemcached, VolatileMemcached};
 use pmem::{LatencyModel, Mode, PmemPool, PoolBuilder, TABLE1};
 
+use workload::KeyDist;
+
 use crate::report::{ExperimentReport, Measurement};
 use crate::{build, measure, prefill, run_mixed, DsKind, Flavor, MeasuredRun, RunConfig};
 
@@ -33,8 +35,9 @@ pub struct ExperimentSpec {
 }
 
 /// Every experiment of the evaluation, in paper order (Table 1, then
-/// Figures 5–11), plus the beyond-paper shard sweep (`fig12_shards`).
-pub fn registry() -> [ExperimentSpec; 10] {
+/// Figures 5–11), plus the beyond-paper shard sweep (`fig12_shards`) and
+/// skew sweep (`fig13_skew`).
+pub fn registry() -> [ExperimentSpec; 11] {
     [
         ExperimentSpec {
             id: "table1",
@@ -65,6 +68,11 @@ pub fn registry() -> [ExperimentSpec; 10] {
             id: "fig12_shards",
             title: "sharded NV-Memcached throughput and recovery vs shard count",
             run: fig12_shards,
+        },
+        ExperimentSpec {
+            id: "fig13_skew",
+            title: "sharded NV-Memcached under skewed traffic (dist x shard sweep)",
+            run: fig13_skew,
         },
     ]
 }
@@ -181,6 +189,8 @@ pub fn table1(cfg: &RunConfig) -> ExperimentReport {
                 .metric("measured_ns_per_sync", per as f64),
         );
     }
+    // Cost-model rows run no workload: no distribution applies.
+    report.fill_dist("n/a", "n/a");
     report
 }
 
@@ -249,6 +259,7 @@ pub fn fig5(cfg: &RunConfig) -> ExperimentReport {
             }
         }
     }
+    report.fill_dist(&cfg.dist.label(), &cfg.value.label());
     report
 }
 
@@ -294,6 +305,7 @@ pub fn fig6(cfg: &RunConfig) -> ExperimentReport {
             ));
         }
     }
+    report.fill_dist(&cfg.dist.label(), &cfg.value.label());
     report
 }
 
@@ -349,6 +361,7 @@ pub fn fig7(cfg: &RunConfig) -> ExperimentReport {
             ));
         }
     }
+    report.fill_dist(&cfg.dist.label(), &cfg.value.label());
     report
 }
 
@@ -417,6 +430,7 @@ pub fn fig8(cfg: &RunConfig) -> ExperimentReport {
             Some(p_lc),
         ));
     }
+    report.fill_dist(&cfg.dist.label(), &cfg.value.label());
     report
 }
 
@@ -446,7 +460,7 @@ pub fn fig9a(cfg: &RunConfig) -> ExperimentReport {
     for size in cfg.cap_sizes(sizes) {
         let inst = build(DsKind::SkipList, Flavor::LogFree, size, Mode::Perf, LatencyModel::ZERO);
         prefill(&inst, size);
-        let stats = run_mixed(&inst, 4, Duration::from_millis(ms), size, 100, 7);
+        let stats = run_mixed(&inst, 4, Duration::from_millis(ms), size, 100, cfg.dist, 7);
         report.measurements.push(
             Measurement {
                 structure: Some(DsKind::SkipList.name().to_string()),
@@ -460,6 +474,7 @@ pub fn fig9a(cfg: &RunConfig) -> ExperimentReport {
             .apt_metrics(&stats.apt),
         );
     }
+    report.fill_dist(&cfg.dist.label(), &cfg.value.label());
     report
 }
 
@@ -517,6 +532,7 @@ pub fn fig9b(cfg: &RunConfig) -> ExperimentReport {
             ));
         }
     }
+    report.fill_dist(&cfg.dist.label(), &cfg.value.label());
     report
 }
 
@@ -531,7 +547,7 @@ fn fig10_measure(kind: DsKind, size: u64, cfg: &RunConfig) -> (Duration, u64, u6
     let inst = build(kind, Flavor::LogFree, size, Mode::CrashSim, LatencyModel::ZERO);
     prefill(&inst, size);
     // Touch the structure so active pages and in-flight deletions exist.
-    let _ = run_mixed(&inst, 2, Duration::from_millis(cfg.crash_work_ms), size, 100, 3);
+    let _ = run_mixed(&inst, 2, Duration::from_millis(cfg.crash_work_ms), size, 100, cfg.dist, 3);
     let pool = Arc::clone(&inst.pool);
     drop(inst);
     // SAFETY: all workers have been joined by run_mixed.
@@ -606,6 +622,7 @@ pub fn fig10(cfg: &RunConfig) -> ExperimentReport {
             );
         }
     }
+    report.fill_dist(&cfg.dist.label(), &cfg.value.label());
     report
 }
 
@@ -655,7 +672,7 @@ pub fn fig11(cfg: &RunConfig) -> ExperimentReport {
     }
     let ops = cfg.memtier_ops;
     for &range in &ranges {
-        let wl = Workload::paper(range, 42);
+        let wl = Workload::paper(range, 42).with_dist(cfg.dist).with_value(cfg.value);
 
         // --- stock memcached model ---
         let v = VolatileMemcached::new();
@@ -751,6 +768,7 @@ pub fn fig11(cfg: &RunConfig) -> ExperimentReport {
             .metric("recovery_ms", recover_n.as_secs_f64() * 1e3),
         );
     }
+    report.fill_dist(&cfg.dist.label(), &cfg.value.label());
     report
 }
 
@@ -793,7 +811,7 @@ pub fn fig12_shards(cfg: &RunConfig) -> ExperimentReport {
     // committed CI-sized baseline (request counts shrink instead).
     let range: u64 = 100_000;
     let ops = cfg.memtier_ops;
-    let wl = Workload::paper(range, 42);
+    let wl = Workload::paper(range, 42).with_dist(cfg.dist).with_value(cfg.value);
     for n_shards in cfg.shard_counts() {
         // Fresh pools + cache + warm-up per repetition (the paper's
         // fresh-instance methodology); each repetition also crashes and
@@ -847,5 +865,98 @@ pub fn fig12_shards(cfg: &RunConfig) -> ExperimentReport {
             .metric("recovery_ms", recovery.as_secs_f64() * 1e3),
         );
     }
+    report.fill_dist(&cfg.dist.label(), &cfg.value.label());
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13 (beyond the paper): skew sweep
+// ---------------------------------------------------------------------------
+
+/// Max/mean request imbalance over the per-shard tallies: 1.0 means
+/// perfectly balanced routing, `n_shards` means every request landed on
+/// one shard. An empty window reports 1.0 (balanced vacuously).
+fn imbalance(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || counts.is_empty() {
+        return 1.0;
+    }
+    let mean = total as f64 / counts.len() as f64;
+    counts.iter().copied().max().unwrap_or(0) as f64 / mean
+}
+
+/// Figure 13 (beyond the paper): the sharded cache under *skewed*
+/// traffic. The fixed Figure 11 workload (1:4 set:get, 100k key range)
+/// swept across key distributions {uniform, zipf-0.99, hotspot-10/90} x
+/// shard counts {1, 4}, reporting throughput, get hit rate, and the
+/// per-shard request imbalance (max/mean over the new routing tallies).
+/// Skew is where sharding is stressed hardest: the router hashes keys,
+/// so even zipf-hot keys spread across shards, but each hot *key* still
+/// serializes on its home shard — the imbalance metric makes that
+/// visible while the hash keeps it bounded.
+pub fn fig13_skew(cfg: &RunConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig13_skew",
+        "sharded NV-Memcached under skewed traffic: throughput, hit rate, shard imbalance",
+        "rows: distribution x shard count (fig11 workload, fixed 100k range); \
+         y: requests/s, get hit rate, max/mean per-shard request imbalance",
+    );
+    // Fixed range across scales, like fig12, so the CI smoke gate joins
+    // these rows against the committed CI-sized baseline.
+    let range: u64 = 100_000;
+    let ops = cfg.memtier_ops;
+    for dist in [KeyDist::Uniform, KeyDist::ZIPF_99, KeyDist::HOTSPOT_10_90] {
+        let wl = Workload::paper(range, 42).with_dist(dist).with_value(cfg.value);
+        for n_shards in [1usize, 4] {
+            // Fresh pools + cache + warm-up per repetition (the paper's
+            // fresh-instance methodology); the shard tallies are reset
+            // after warm-up so imbalance covers only the timed window.
+            let mut extras = Vec::with_capacity(cfg.repeats);
+            let (r, median_rep, throughputs) = median_memtier(cfg.repeats, || {
+                let pools = fig12_pools(range, n_shards);
+                let mc = ShardedNvMemcached::create(
+                    &pools,
+                    (range as usize / n_shards).max(64),
+                    usize::MAX / 2,
+                    true,
+                )
+                .expect("pools sized");
+                {
+                    let mut ctx = mc.register();
+                    for k in wl.warmup_keys() {
+                        mc.set(&mut ctx, k, k).expect("pools sized");
+                    }
+                }
+                mc.reset_shard_requests();
+                let flush_before = mc.flush_stats();
+                let r = run_cache(&mc, FIG11_THREADS, ops, wl);
+                extras.push((mc.flush_stats().diff(flush_before), mc.shard_requests()));
+                r
+            });
+            let (flush_run, shard_reqs) = &extras[median_rep];
+            report.measurements.push(
+                Measurement {
+                    structure: Some("sharded-nv-memcached".to_string()),
+                    threads: Some(FIG11_THREADS as u64),
+                    size: Some(range),
+                    median_throughput: Some(r.throughput()),
+                    repeat_throughputs: throughputs,
+                    flush: Some(*flush_run),
+                    dist: Some(dist.label()),
+                    ..Measurement::new(format!(
+                        "dist={} shards={n_shards} range={range}",
+                        dist.label()
+                    ))
+                }
+                .metric("shards", n_shards as f64)
+                .metric("get_hit_rate", r.hit_rate())
+                .metric("shard_imbalance", imbalance(shard_reqs))
+                .metric("shard_requests_max", shard_reqs.iter().copied().max().unwrap_or(0) as f64),
+            );
+        }
+    }
+    // Rows carry their dist already; this stamps the ` val=` suffix when
+    // a non-default VAL_DIST changed the request streams.
+    report.fill_dist(&cfg.dist.label(), &cfg.value.label());
     report
 }

@@ -12,7 +12,11 @@
 //! * reported numbers are medians of [`REPEATS`] repetitions (§6.1 uses
 //!   the median of 5);
 //! * NVRAM write latency defaults to the paper's 125 ns and is injected
-//!   once per write-back batch ([`pmem::LatencyModel`]).
+//!   once per write-back batch ([`pmem::LatencyModel`]);
+//! * request streams come from the [`workload`] crate — uniform keys by
+//!   default (the paper's setting), with the `DIST`/`SKEW` knobs
+//!   selecting zipfian, hotspot, or latest traffic for every
+//!   workload-driven experiment (BENCHMARKS.md, "Workload model").
 //!
 //! Every harness builds a structured [`report::ExperimentReport`] through
 //! the [`experiments`] registry; the text the binaries print and the
@@ -34,6 +38,8 @@ use logbased::{LogDirectory, RedoLog};
 use logfree::LinkOps;
 use nvalloc::{AptStats, MemMode, NvDomain, ThreadCtx};
 use pmem::{FlushStats, LatencyModel, Mode, PmemPool, PoolBuilder};
+pub use workload::Xorshift;
+use workload::{KeyDist, KeySampler, MixOp, MixSpec, ValueDist};
 
 /// Repetitions per configuration (paper: median of 5). Override with the
 /// `REPEATS` environment variable.
@@ -58,7 +64,7 @@ pub fn full_scale() -> bool {
 /// via [`RunConfig::from_env`], or constructed directly by tests) and
 /// passed explicitly to every experiment so a run is reproducible from
 /// its recorded knob values alone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
     /// Repetitions per configuration; the median is reported (`REPEATS`).
     pub repeats: usize,
@@ -81,6 +87,13 @@ pub struct RunConfig {
     /// Largest shard count the `fig12_shards` sweep reaches (`SHARDS`;
     /// powers of two from 1 up to this value, default 8).
     pub shards: u64,
+    /// The key distribution every workload-driven experiment draws from
+    /// (`DIST`, alias `SKEW`; default uniform — the paper's setting).
+    /// `fig13_skew` sweeps its own distributions regardless.
+    pub dist: KeyDist,
+    /// The modeled value-size distribution of cache `set`s (`VAL_DIST`;
+    /// default `fixed-64`, the paper's memtier configuration).
+    pub value: ValueDist,
 }
 
 impl RunConfig {
@@ -98,6 +111,8 @@ impl RunConfig {
             // Clamped: a shard needs its own pool, so triple digits is
             // already beyond any sane sweep.
             shards: env_u64("SHARDS", 8).clamp(1, 1024),
+            dist: env_dist(),
+            value: env_value_dist(),
         }
     }
 
@@ -126,6 +141,8 @@ impl RunConfig {
             crash_work_ms: 5,
             memtier_ops: 2_000,
             shards: 2,
+            dist: KeyDist::Uniform,
+            value: ValueDist::PAPER,
         }
     }
 
@@ -163,7 +180,29 @@ impl RunConfig {
             ("CRASH_WORK_MS".into(), self.crash_work_ms.to_string()),
             ("MEMTIER_OPS".into(), self.memtier_ops.to_string()),
             ("SHARDS".into(), self.shards.to_string()),
+            ("DIST".into(), self.dist.label()),
+            ("VAL_DIST".into(), self.value.label()),
         ]
+    }
+}
+
+/// Resolves the key-distribution knob: `DIST` first, the `SKEW` alias
+/// second, uniform otherwise. A malformed spec aborts the run — a knob
+/// typo must not silently measure the wrong workload.
+fn env_dist() -> KeyDist {
+    let spec = std::env::var("DIST").or_else(|_| std::env::var("SKEW"));
+    match spec {
+        Ok(s) => KeyDist::parse(&s).unwrap_or_else(|e| panic!("bad DIST/SKEW knob: {e}")),
+        Err(_) => KeyDist::Uniform,
+    }
+}
+
+/// Resolves the `VAL_DIST` knob (default: the paper's fixed 64-byte
+/// values).
+fn env_value_dist() -> ValueDist {
+    match std::env::var("VAL_DIST") {
+        Ok(s) => ValueDist::parse(&s).unwrap_or_else(|e| panic!("bad VAL_DIST knob: {e}")),
+        Err(_) => ValueDist::PAPER,
     }
 }
 
@@ -403,40 +442,8 @@ pub fn build(
     }
 }
 
-/// Simple xorshift for workload key streams.
-pub struct Xorshift(u64);
-
-impl Xorshift {
-    /// Seeds the generator (seed 0 is remapped).
-    pub fn new(seed: u64) -> Self {
-        Self(seed.max(1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
-    }
-
-    /// Next pseudo-random u64. The state advances by xorshift; the
-    /// output goes through a splitmix64 finalizer. The finalizer matters:
-    /// raw xorshift low bits are GF(2)-linear in the low state bits, so
-    /// `key = x % 2^k` would deterministically fix the next draw's parity
-    /// — every key would always receive the same insert-or-remove choice
-    /// and the workload would freeze after one pass over the key space.
-    #[inline]
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        let mut y = x;
-        y = (y ^ (y >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        y = (y ^ (y >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        y ^ (y >> 31)
-    }
-
-    /// Uniform in `[1, bound]`.
-    #[inline]
-    pub fn key(&mut self, bound: u64) -> u64 {
-        (self.next_u64() % bound.max(1)) + 1
-    }
-}
+// The RNG and all request generation live in the `workload` crate
+// (re-exported `Xorshift` above); the harness only drives streams.
 
 /// Pre-fills `inst` with `size` elements (every other key of the
 /// `2 * size` range, the steady-state convention).
@@ -463,7 +470,7 @@ pub fn prefill(inst: &Instance, size: u64) {
     let mut items = items;
     let mut rng = Xorshift::new(0xF1F1);
     for i in (1..items.len()).rev() {
-        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        let j = rng.bounded(i as u64 + 1) as usize;
         items.swap(i, j);
     }
     for &(k, v) in &items {
@@ -495,20 +502,27 @@ pub struct RunStats {
 }
 
 impl RunStats {
-    /// Operations per second.
+    /// Operations per second (0.0 for an empty or zero-duration run —
+    /// never NaN, so medians and JSON stay well-defined).
     pub fn throughput(&self) -> f64 {
-        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        let secs = self.elapsed.as_secs_f64();
+        if self.ops == 0 || secs <= 0.0 {
+            return 0.0;
+        }
+        self.ops as f64 / secs
     }
 }
 
 /// Runs a mixed workload: `update_pct` percent updates (half inserts,
-/// half removes) and the rest lookups, keys uniform in `[1, 2 * size]`.
+/// half removes) and the rest lookups, keys drawn from `[1, 2 * size]`
+/// according to `dist` (see [`workload::KeyDist`]).
 pub fn run_mixed(
     inst: &Instance,
     threads: usize,
     duration: Duration,
     size: u64,
     update_pct: u32,
+    dist: KeyDist,
     seed: u64,
 ) -> RunStats {
     let stop = AtomicBool::new(false);
@@ -517,6 +531,10 @@ pub fn run_mixed(
     let apt = atomic_cells::<4>();
     let flush = atomic_cells::<3>();
     let key_range = (2 * size).max(2);
+    let spec = MixSpec { key_range, update_pct, seed, dist };
+    // One sampler for all threads: zipfian construction is O(key_range)
+    // (the zeta sum) and the sampler itself is `Copy`.
+    let sampler = KeySampler::new(dist, key_range);
     let elapsed = std::thread::scope(|s| {
         for t in 0..threads {
             let stop = &stop;
@@ -527,23 +545,23 @@ pub fn run_mixed(
             let mut w = inst.worker();
             let ds = &*inst.ds;
             s.spawn(move || {
-                let mut rng = Xorshift::new(seed * 1000 + t as u64);
+                let mut stream = spec.stream_with(sampler, t);
                 barrier.wait();
                 let mut ops = 0u64;
                 let before_apt = w.ctx.apt_stats();
                 let before_flush = w.ctx.flusher.stats();
                 while !stop.load(Ordering::Relaxed) {
                     for _ in 0..32 {
-                        let k = rng.key(key_range);
-                        let roll = (rng.next_u64() % 100) as u32;
-                        if roll < update_pct {
-                            if roll % 2 == 0 {
-                                ds.insert(&mut w, k, k);
-                            } else {
+                        match stream.next().expect("infinite stream") {
+                            MixOp::Insert(k, v) => {
+                                ds.insert(&mut w, k, v);
+                            }
+                            MixOp::Remove(k) => {
                                 ds.remove(&mut w, k);
                             }
-                        } else {
-                            ds.get(&mut w, k);
+                            MixOp::Get(k) => {
+                                ds.get(&mut w, k);
+                            }
                         }
                         ops += 1;
                     }
@@ -595,6 +613,41 @@ fn atomic_cells<const N: usize>() -> [AtomicU64; N] {
     std::array::from_fn(|_| AtomicU64::new(0))
 }
 
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(ops: u64, elapsed: Duration) -> RunStats {
+        RunStats { ops, elapsed, apt: AptStats::default(), flush: FlushStats::default() }
+    }
+
+    #[test]
+    fn throughput_of_empty_run_is_zero_not_nan() {
+        assert_eq!(stats(0, Duration::ZERO).throughput(), 0.0);
+        assert_eq!(stats(0, Duration::from_millis(100)).throughput(), 0.0);
+        assert_eq!(stats(1000, Duration::ZERO).throughput(), 0.0);
+    }
+
+    #[test]
+    fn throughput_of_real_run_is_positive() {
+        let t = stats(1000, Duration::from_millis(500)).throughput();
+        assert!((t - 2000.0).abs() < 1e-6, "throughput {t}");
+    }
+
+    #[test]
+    fn knobs_record_the_distributions() {
+        let mut cfg = RunConfig::smoke_test();
+        cfg.dist = KeyDist::ZIPF_99;
+        cfg.value = ValueDist::Uniform { min: 16, max: 64 };
+        let knobs = cfg.knobs();
+        let get = |name: &str| {
+            knobs.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone()).expect("knob present")
+        };
+        assert_eq!(get("DIST"), "zipf-0.99");
+        assert_eq!(get("VAL_DIST"), "uniform-16-64");
+    }
+}
+
 /// Outcome of [`measure`]: the median repetition plus enough context to
 /// build a [`report::Measurement`] row.
 #[derive(Debug, Clone)]
@@ -624,7 +677,7 @@ pub fn measure(
     for rep in 0..cfg.repeats.max(1) {
         let inst = mk();
         prefill(&inst, size);
-        runs.push(run_mixed(&inst, threads, duration, size, update_pct, rep as u64 + 1));
+        runs.push(run_mixed(&inst, threads, duration, size, update_pct, cfg.dist, rep as u64 + 1));
     }
     let per_repeat: Vec<f64> = runs.iter().map(RunStats::throughput).collect();
     let mut order: Vec<usize> = (0..runs.len()).collect();

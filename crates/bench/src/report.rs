@@ -440,6 +440,11 @@ pub struct Measurement {
     pub size: Option<u64>,
     /// Injected NVRAM write latency (ns) of this configuration.
     pub latency_ns: Option<u64>,
+    /// Key-distribution label of the workload this row ran under
+    /// (`"uniform"`, `"zipf-0.99"`, …; `"n/a"` for cost-model rows with
+    /// no workload). Every serialized row carries it — the CI
+    /// JSON-validation step asserts so.
+    pub dist: Option<String>,
     /// Median throughput (ops/s) over the repeats — the value regression
     /// comparison tracks.
     pub median_throughput: Option<f64>,
@@ -479,18 +484,21 @@ impl Measurement {
 
     fn to_json(&self) -> Json {
         let mut m = vec![("label".into(), Json::Str(self.label.clone()))];
-        let mut opt_num = |key: &str, v: Option<f64>| {
+        fn opt_num(m: &mut Vec<(String, Json)>, key: &str, v: Option<f64>) {
             if let Some(v) = v {
                 m.push((key.into(), Json::Num(v)));
             }
-        };
-        opt_num("threads", self.threads.map(|v| v as f64));
-        opt_num("size", self.size.map(|v| v as f64));
-        opt_num("latency_ns", self.latency_ns.map(|v| v as f64));
-        opt_num("median_throughput", self.median_throughput);
-        opt_num("baseline_throughput", self.baseline_throughput);
-        opt_num("ratio", self.ratio);
-        opt_num("paper_ratio", self.paper_ratio);
+        }
+        opt_num(&mut m, "threads", self.threads.map(|v| v as f64));
+        opt_num(&mut m, "size", self.size.map(|v| v as f64));
+        opt_num(&mut m, "latency_ns", self.latency_ns.map(|v| v as f64));
+        // Serialized unconditionally: a row that somehow skipped the
+        // fill still records *that* ("n/a") rather than omitting the key.
+        m.push(("dist".into(), Json::Str(self.dist.clone().unwrap_or_else(|| "n/a".into()))));
+        opt_num(&mut m, "median_throughput", self.median_throughput);
+        opt_num(&mut m, "baseline_throughput", self.baseline_throughput);
+        opt_num(&mut m, "ratio", self.ratio);
+        opt_num(&mut m, "paper_ratio", self.paper_ratio);
         if let Some(s) = &self.structure {
             m.insert(1, ("structure".into(), Json::Str(s.clone())));
         }
@@ -541,6 +549,29 @@ impl ExperimentReport {
             title: title.to_string(),
             axes: axes.to_string(),
             measurements: Vec::new(),
+        }
+    }
+
+    /// Records workload provenance on every measurement: sets the
+    /// key-distribution field on rows that have not set one row-locally
+    /// and — for non-default configurations — appends ` dist=<label>` /
+    /// ` val=<label>` to row labels, so a skewed or resized-value run's
+    /// rows never silently join against the default baseline in
+    /// `bench_all --baseline` (rows are joined on `(id, label)`; *any*
+    /// non-default value distribution changes the whole request
+    /// sequence, not just the modeled sizes, because it leaves the
+    /// legacy bit-compat generator).
+    pub fn fill_dist(&mut self, dist_label: &str, value_label: &str) {
+        for m in &mut self.measurements {
+            if m.dist.is_none() {
+                m.dist = Some(dist_label.to_string());
+                if dist_label != "uniform" && dist_label != "n/a" {
+                    m.label = format!("{} dist={dist_label}", m.label);
+                }
+            }
+            if value_label != "fixed-64" && value_label != "n/a" && !m.label.contains(" val=") {
+                m.label = format!("{} val={value_label}", m.label);
+            }
         }
     }
 

@@ -1,14 +1,28 @@
 //! memtier_benchmark-style workload driver (§6.5).
 //!
 //! Mirrors the paper's methodology: a mix of `get` and `set` operations
-//! with keys drawn uniformly at random from a configurable range, a
-//! configurable set:get ratio (the paper uses 1:4), and a warm-up phase
-//! that populates half the key range before the timed run. In-process
-//! rather than over the network — see the crate docs for why that
-//! preserves the comparison.
+//! over a configurable key range, a configurable set:get ratio (the
+//! paper uses 1:4), and a warm-up phase that populates half the key
+//! range before the timed run. In-process rather than over the network —
+//! see the crate docs for why that preserves the comparison.
+//!
+//! Request *generation* lives in the [`workload`] crate: [`Workload`] is
+//! a re-export of [`workload::TrafficSpec`] (so skewed distributions —
+//! zipfian, hotspot, latest — and value-size models are available via
+//! [`TrafficSpec::with_dist`]/[`TrafficSpec::with_value`]), and
+//! [`RequestStream`] is a thin adapter mapping the engine's
+//! [`workload::CacheOp`]s onto this module's [`Request`]s. The paper's
+//! uniform configuration reproduces the historical request sequence
+//! bit-for-bit (pinned by the `workload_equivalence` test).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+use workload::{CacheOp, CacheStream, KeySampler, TrafficSpec};
+
+/// The shape of a cache workload (re-exported traffic engine spec; the
+/// paper's uniform 1:4 configuration is [`Workload::paper`]).
+pub type Workload = TrafficSpec;
 
 /// A single cache request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,56 +33,26 @@ pub enum Request {
     Get(u64),
 }
 
-/// Workload shape.
-#[derive(Debug, Clone, Copy)]
-pub struct Workload {
-    /// Keys are drawn uniformly from `1..=key_range`.
-    pub key_range: u64,
-    /// sets per (sets + gets); the paper's 1:4 set:get mix is 0.2.
-    pub set_fraction: f64,
-    /// Seed for reproducible runs.
-    pub seed: u64,
-}
-
-impl Workload {
-    /// The paper's configuration: 1:4 set:get over `key_range` keys.
-    pub fn paper(key_range: u64, seed: u64) -> Self {
-        Self { key_range, set_fraction: 0.2, seed }
-    }
-
-    /// Creates the request stream for one worker thread.
-    pub fn stream(&self, thread: usize) -> RequestStream {
-        RequestStream {
-            state: self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(thread as u64 + 1)),
-            key_range: self.key_range.max(1),
-            set_threshold: (self.set_fraction.clamp(0.0, 1.0) * u32::MAX as f64) as u32,
-        }
-    }
-
-    /// The warm-up key set: the first half of the key range, as in the
-    /// paper ("we warm up the cache by inserting items covering half of
-    /// the key range").
-    pub fn warmup_keys(&self) -> impl Iterator<Item = u64> {
-        1..=(self.key_range / 2).max(1)
-    }
-}
-
-/// Deterministic per-thread request generator (xorshift-based).
+/// Deterministic per-thread request generator: an adapter over the
+/// traffic engine's [`CacheStream`] (the modeled value *size* of a `set`
+/// is dropped here — the in-process caches store fixed-width `u64`
+/// values).
 pub struct RequestStream {
-    state: u64,
-    key_range: u64,
-    set_threshold: u32,
+    inner: CacheStream,
 }
 
 impl RequestStream {
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.state = x;
-        x
+    /// The request stream of worker `thread` under `workload`.
+    pub fn new(workload: &Workload, thread: usize) -> Self {
+        Self { inner: workload.stream(thread) }
+    }
+
+    /// The same stream over a pre-built sampler
+    /// ([`workload::TrafficSpec::sampler`]) — zipfian/latest sampler
+    /// construction is O(key_range), so drivers spawning many workers
+    /// build it once ([`run_threads`] does).
+    pub fn with_sampler(workload: &Workload, sampler: KeySampler, thread: usize) -> Self {
+        Self { inner: workload.stream_with(sampler, thread) }
     }
 }
 
@@ -77,9 +61,10 @@ impl Iterator for RequestStream {
 
     #[inline]
     fn next(&mut self) -> Option<Request> {
-        let r = self.next_u64();
-        let key = (self.next_u64() % self.key_range) + 1;
-        Some(if (r as u32) < self.set_threshold { Request::Set(key, r) } else { Request::Get(key) })
+        Some(match self.inner.next().expect("infinite stream") {
+            CacheOp::Set { key, value, .. } => Request::Set(key, value),
+            CacheOp::Get { key } => Request::Get(key),
+        })
     }
 }
 
@@ -113,9 +98,14 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    /// Requests per second.
+    /// Requests per second (0.0 for an empty or zero-duration run —
+    /// never NaN, so medians and JSON stay well-defined).
     pub fn throughput(&self) -> f64 {
-        self.requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        let secs = self.elapsed.as_secs_f64();
+        if self.requests == 0 || secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / secs
     }
 
     /// `get` requests executed (hits + misses).
@@ -123,10 +113,13 @@ impl RunResult {
         self.hits + self.misses
     }
 
-    /// Fraction of `get` requests that found their key (0 when the run
-    /// issued no gets).
+    /// Fraction of `get` requests that found their key (0.0 when the
+    /// run issued no gets — never NaN).
     pub fn hit_rate(&self) -> f64 {
-        self.hits as f64 / (self.gets().max(1)) as f64
+        if self.gets() == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.gets() as f64
     }
 }
 
@@ -218,10 +211,11 @@ where
     let misses = AtomicU64::new(0);
     let barrier = std::sync::Barrier::new(threads + 1);
     let elapsed = std::thread::scope(|s| {
+        let sampler = workload.sampler();
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let mut worker = make_worker(t);
-                let mut stream = workload.stream(t);
+                let mut stream = RequestStream::with_sampler(&workload, sampler, t);
                 let (sets, hits, misses) = (&sets, &hits, &misses);
                 let barrier = &barrier;
                 s.spawn(move || {
@@ -265,7 +259,7 @@ mod tests {
         let w = Workload::paper(1000, 42);
         let mut sets = 0;
         let mut gets = 0;
-        for req in w.stream(0).take(100_000) {
+        for req in RequestStream::new(&w, 0).take(100_000) {
             match req {
                 Request::Set(..) => sets += 1,
                 Request::Get(_) => gets += 1,
@@ -278,7 +272,7 @@ mod tests {
     #[test]
     fn keys_stay_in_range() {
         let w = Workload::paper(100, 7);
-        for req in w.stream(3).take(10_000) {
+        for req in RequestStream::new(&w, 3).take(10_000) {
             let k = match req {
                 Request::Set(k, _) => k,
                 Request::Get(k) => k,
@@ -290,9 +284,9 @@ mod tests {
     #[test]
     fn streams_are_deterministic_per_thread() {
         let w = Workload::paper(100, 7);
-        let a: Vec<_> = w.stream(1).take(100).collect();
-        let b: Vec<_> = w.stream(1).take(100).collect();
-        let c: Vec<_> = w.stream(2).take(100).collect();
+        let a: Vec<_> = RequestStream::new(&w, 1).take(100).collect();
+        let b: Vec<_> = RequestStream::new(&w, 1).take(100).collect();
+        let c: Vec<_> = RequestStream::new(&w, 2).take(100).collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -351,9 +345,41 @@ mod tests {
 
     #[test]
     fn hit_rate_of_getless_run_is_zero() {
-        let w = Workload { key_range: 10, set_fraction: 1.0, seed: 1 };
+        let w = Workload { set_fraction: 1.0, ..Workload::paper(10, 1) };
         let r = run_threads(1, 100, w, |_t| |_req| ReqOutcome::Set);
         assert_eq!(r.gets(), 0);
         assert_eq!(r.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_request_run_has_zero_throughput_and_hit_rate() {
+        let r = RunResult { requests: 0, elapsed: Duration::ZERO, sets: 0, hits: 0, misses: 0 };
+        assert_eq!(r.throughput(), 0.0, "no NaN from 0/0");
+        assert_eq!(r.hit_rate(), 0.0);
+        // Zero-duration but non-empty (a degenerate clock) is also 0.0.
+        let r = RunResult { requests: 10, elapsed: Duration::ZERO, sets: 0, hits: 5, misses: 5 };
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn skewed_workloads_flow_through_the_driver() {
+        use workload::KeyDist;
+        let w = Workload::paper(1000, 9).with_dist(KeyDist::ZIPF_99);
+        let mut hot = 0u64;
+        let n = 50_000;
+        for req in RequestStream::new(&w, 0).take(n) {
+            let k = match req {
+                Request::Set(k, _) => k,
+                Request::Get(k) => k,
+            };
+            assert!((1..=1000).contains(&k));
+            if k <= 10 {
+                hot += 1;
+            }
+        }
+        // Zipf-0.99 mass of the top 10 of 1000 keys is ~0.39; uniform
+        // would put ~1% there.
+        assert!(hot as f64 / n as f64 > 0.3, "zipfian skew visible through the adapter");
     }
 }

@@ -37,6 +37,7 @@
 //! `n = 1` the router is constant), which keeps single-system paper
 //! comparisons honest.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nvalloc::{OutOfMemory, RecoveryReport, ThreadCtx};
@@ -164,9 +165,22 @@ fn fresh_cache_id() -> u32 {
     (((x >> 32) ^ x) as u32).max(1)
 }
 
+/// One shard's aggregated request tally, padded to its own cache line
+/// (same discipline as the epoch vector's padding in `nvalloc`). These
+/// are touched only when a connection drops — the hot path counts into
+/// plain per-connection `u64`s ([`ShardedCtx`]), so the tally adds no
+/// shared-memory traffic to the requests being measured.
+#[repr(align(128))]
+struct ShardTally(AtomicU64);
+
 /// The durable cache, partitioned into independent shards.
 pub struct ShardedNvMemcached {
     shards: Box<[NvMemcached]>,
+    /// Volatile per-shard request tally (every routed `set`/`get`/
+    /// `delete`/`add`/`replace`), the basis of the skew experiments'
+    /// imbalance metric. Accumulated per connection and flushed when the
+    /// connection drops. Not persisted; recovery starts from zero.
+    requests: Arc<[ShardTally]>,
 }
 
 impl std::fmt::Debug for ShardedNvMemcached {
@@ -179,10 +193,24 @@ impl std::fmt::Debug for ShardedNvMemcached {
 }
 
 /// Per-worker operation state: one [`ThreadCtx`] per shard (each shard is
-/// its own allocation domain). Create via
+/// its own allocation domain), plus this connection's plain request
+/// tallies — counted without any shared-memory traffic and flushed into
+/// the cache-wide counters when the connection drops. Create via
 /// [`ShardedNvMemcached::register`].
 pub struct ShardedCtx {
     ctxs: Box<[ThreadCtx]>,
+    tallies: Box<[u64]>,
+    shared: Arc<[ShardTally]>,
+}
+
+impl Drop for ShardedCtx {
+    fn drop(&mut self) {
+        for (tally, shared) in self.tallies.iter().zip(self.shared.iter()) {
+            if *tally > 0 {
+                shared.0.fetch_add(*tally, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 impl ShardedCtx {
@@ -227,7 +255,13 @@ impl ShardedNvMemcached {
             pool.set_root(SHARD_GEOMETRY_ROOT, pack_geometry(cache_id, n, i), &mut flusher);
             shards.push(shard);
         }
-        Ok(Self { shards: shards.into_boxed_slice() })
+        Ok(Self::from_shards(shards))
+    }
+
+    fn from_shards(shards: Vec<NvMemcached>) -> Self {
+        let requests: Arc<[ShardTally]> =
+            (0..shards.len()).map(|_| ShardTally(AtomicU64::new(0))).collect();
+        Self { shards: shards.into_boxed_slice(), requests }
     }
 
     /// Validates the durable shard geometry of `pools` without recovering
@@ -289,7 +323,7 @@ impl ShardedNvMemcached {
             report.merge(shard_report);
             shards.push(shard);
         }
-        Ok((Self { shards: shards.into_boxed_slice() }, report))
+        Ok((Self::from_shards(shards), report))
     }
 
     /// Number of shards.
@@ -307,9 +341,43 @@ impl ShardedNvMemcached {
         shard_of(key, self.shards.len())
     }
 
+    /// Routes `key` and tallies the request against its shard — a plain
+    /// per-connection increment, so the accounting adds no shared-memory
+    /// traffic to the hot path it measures.
+    #[inline]
+    fn route(&self, ctx: &mut ShardedCtx, key: u64) -> usize {
+        let s = self.shard_of(key);
+        ctx.tallies[s] += 1;
+        s
+    }
+
+    /// Requests routed to each shard since creation/recovery (or the
+    /// last [`ShardedNvMemcached::reset_shard_requests`]). Volatile
+    /// observability only — skewed traffic shows up as imbalance here.
+    /// Connections flush their tallies on drop, so read this after the
+    /// worker connections of interest have been dropped (a joined run's
+    /// workers always have).
+    pub fn shard_requests(&self) -> Vec<u64> {
+        self.requests.iter().map(|c| c.0.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Zeroes the per-shard request tallies (e.g. after warm-up, so a
+    /// timed window measures only its own traffic). Live connections'
+    /// unflushed counts are not affected — reset while no connection
+    /// holds unflushed tallies.
+    pub fn reset_shard_requests(&self) {
+        for c in self.requests.iter() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Registers the calling worker thread with every shard.
     pub fn register(&self) -> ShardedCtx {
-        ShardedCtx { ctxs: self.shards.iter().map(NvMemcached::register).collect() }
+        ShardedCtx {
+            ctxs: self.shards.iter().map(NvMemcached::register).collect(),
+            tallies: vec![0; self.shards.len()].into_boxed_slice(),
+            shared: Arc::clone(&self.requests),
+        }
     }
 
     /// Total (approximate) item count over all shards.
@@ -325,31 +393,31 @@ impl ShardedNvMemcached {
     /// Stores `key -> value` (memcached `set`: upsert) in the routed
     /// shard.
     pub fn set(&self, ctx: &mut ShardedCtx, key: u64, value: u64) -> Result<(), OutOfMemory> {
-        let s = self.shard_of(key);
+        let s = self.route(ctx, key);
         self.shards[s].set(&mut ctx.ctxs[s], key, value)
     }
 
     /// Fetches `key` (memcached `get`) from the routed shard.
     pub fn get(&self, ctx: &mut ShardedCtx, key: u64) -> Option<u64> {
-        let s = self.shard_of(key);
+        let s = self.route(ctx, key);
         self.shards[s].get(&mut ctx.ctxs[s], key)
     }
 
     /// Deletes `key` (memcached `delete`) from the routed shard.
     pub fn delete(&self, ctx: &mut ShardedCtx, key: u64) -> Option<u64> {
-        let s = self.shard_of(key);
+        let s = self.route(ctx, key);
         self.shards[s].delete(&mut ctx.ctxs[s], key)
     }
 
     /// Memcached `add`: stores only if the key is absent.
     pub fn add(&self, ctx: &mut ShardedCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
-        let s = self.shard_of(key);
+        let s = self.route(ctx, key);
         self.shards[s].add(&mut ctx.ctxs[s], key, value)
     }
 
     /// Memcached `replace`: stores only if the key is present.
     pub fn replace(&self, ctx: &mut ShardedCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
-        let s = self.shard_of(key);
+        let s = self.route(ctx, key);
         self.shards[s].replace(&mut ctx.ctxs[s], key, value)
     }
 
@@ -506,6 +574,38 @@ mod tests {
         // The recovered cache keeps serving.
         mc2.set(&mut ctx, 9999, 1).unwrap();
         assert_eq!(mc2.get(&mut ctx, 9999), Some(1));
+    }
+
+    #[test]
+    fn shard_request_counters_match_routing() {
+        let pools = pools(4, Mode::Perf);
+        let mc = ShardedNvMemcached::create(&pools, 64, 10_000, false).unwrap();
+        let mut expect = [0u64; 4];
+        {
+            let mut ctx = mc.register();
+            for k in 1..=500u64 {
+                mc.set(&mut ctx, k, k).unwrap();
+                expect[mc.shard_of(k)] += 1;
+            }
+            for k in 1..=250u64 {
+                mc.get(&mut ctx, k);
+                expect[mc.shard_of(k)] += 1;
+            }
+            mc.delete(&mut ctx, 7);
+            expect[mc.shard_of(7)] += 1;
+            // Tallies are per-connection until the connection drops.
+            assert_eq!(mc.shard_requests(), vec![0; 4]);
+        }
+        assert_eq!(mc.shard_requests(), expect.to_vec());
+        assert_eq!(mc.shard_requests().iter().sum::<u64>(), 751);
+        // A second connection's traffic accumulates on top.
+        {
+            let mut ctx = mc.register();
+            mc.get(&mut ctx, 1);
+        }
+        assert_eq!(mc.shard_requests().iter().sum::<u64>(), 752);
+        mc.reset_shard_requests();
+        assert_eq!(mc.shard_requests(), vec![0; 4]);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use nvmemcached::memtier::{Request, Workload};
+use nvmemcached::memtier::{Request, RequestStream, Workload};
 use nvmemcached::NvMemcached;
 use pmem::{Mode, PoolBuilder};
 
@@ -41,12 +41,12 @@ fn empty_store_recovers_empty() {
 #[test]
 fn pure_miss_workload_leaves_store_untouched() {
     // set_fraction 0.0 on an empty cache: every request is a missing get.
-    let workload = Workload { key_range: 1000, set_fraction: 0.0, seed: 99 };
+    let workload = Workload { set_fraction: 0.0, ..Workload::paper(1000, 99) };
     let pool = PoolBuilder::new(16 << 20).mode(Mode::Perf).build();
     let mc = NvMemcached::create(pool, 64, 10_000, false).unwrap();
     let mut ctx = mc.register();
     let mut requests = 0u64;
-    for req in workload.stream(0).take(10_000) {
+    for req in RequestStream::new(&workload, 0).take(10_000) {
         match req {
             Request::Get(k) => {
                 assert_eq!(mc.get(&mut ctx, k), None, "100% miss workload");
@@ -61,15 +61,15 @@ fn pure_miss_workload_leaves_store_untouched() {
 
 #[test]
 fn set_fraction_one_generates_only_sets() {
-    let workload = Workload { key_range: 100, set_fraction: 1.0, seed: 5 };
-    assert!(workload.stream(1).take(5_000).all(|r| matches!(r, Request::Set(..))));
+    let workload = Workload { set_fraction: 1.0, ..Workload::paper(100, 5) };
+    assert!(RequestStream::new(&workload, 1).take(5_000).all(|r| matches!(r, Request::Set(..))));
 }
 
 #[test]
 fn single_key_range_stays_degenerate() {
     // key_range 1: every request hits the same key.
     let workload = Workload::paper(1, 3);
-    for req in workload.stream(2).take(2_000) {
+    for req in RequestStream::new(&workload, 2).take(2_000) {
         let k = match req {
             Request::Set(k, _) => k,
             Request::Get(k) => k,

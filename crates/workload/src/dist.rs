@@ -1,0 +1,461 @@
+//! Key distributions: which key the next request touches.
+//!
+//! Four families cover the memtier/YCSB space the cache literature
+//! evaluates on:
+//!
+//! * **Uniform** — every key equally likely (the paper's §6 setting).
+//! * **Zipfian** — rank-skewed: key 1 is the hottest, with frequencies
+//!   `∝ 1/rank^θ`. Sampled with the Gray et al. quantile approximation
+//!   (the YCSB generator) over a precomputed `ζ(n, θ)`, so a draw is
+//!   O(1) after an O(n) sampler construction. Ranks are *not*
+//!   scrambled: the hot keys are the low keys, which keeps closed-form
+//!   frequency checks possible ([`KeySampler::expected_weights`]).
+//! * **Hotspot** — N% of the key space receives M% of the accesses
+//!   (uniform within each side); the classic 10%/90% cache stress.
+//! * **Latest** — zipfian-skewed towards the most recently *written*
+//!   region of the key space: the stream's op index drives a head that
+//!   sweeps the range, and keys are drawn at zipfian-distributed
+//!   distances behind it.
+
+use crate::rng::Xorshift;
+
+/// Which key distribution a stream draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum KeyDist {
+    /// Every key in the range equally likely.
+    #[default]
+    Uniform,
+    /// Rank-skewed with exponent `theta` in `(0, 1)`; key 1 is hottest.
+    Zipfian {
+        /// Skew exponent (YCSB default 0.99; higher = more skewed).
+        theta: f64,
+    },
+    /// `hot_pct`% of the key space receives `access_pct`% of accesses.
+    Hotspot {
+        /// Percent of the key space that is hot (1..=100).
+        hot_pct: u8,
+        /// Percent of accesses that go to the hot set (0..=100).
+        access_pct: u8,
+    },
+    /// Zipfian-distributed distance behind a moving head (op-clocked).
+    Latest {
+        /// Skew exponent of the distance distribution.
+        theta: f64,
+    },
+}
+
+impl KeyDist {
+    /// The paper-standard skewed settings, as swept by `fig13_skew`.
+    pub const ZIPF_99: KeyDist = KeyDist::Zipfian { theta: 0.99 };
+    /// 10% of the keys take 90% of the traffic.
+    pub const HOTSPOT_10_90: KeyDist = KeyDist::Hotspot { hot_pct: 10, access_pct: 90 };
+
+    /// Stable label used in knobs, experiment labels, and JSON rows.
+    /// Round-trips through [`KeyDist::parse`].
+    pub fn label(&self) -> String {
+        match *self {
+            KeyDist::Uniform => "uniform".to_string(),
+            KeyDist::Zipfian { theta } => format!("zipf-{theta}"),
+            KeyDist::Hotspot { hot_pct, access_pct } => format!("hotspot-{hot_pct}/{access_pct}"),
+            KeyDist::Latest { theta } => format!("latest-{theta}"),
+        }
+    }
+
+    /// Parses a distribution spec, as accepted by the `DIST`/`SKEW`
+    /// environment knobs:
+    ///
+    /// * `uniform`
+    /// * `zipf` (θ = 0.99) or `zipf-<theta>` with θ in (0, 1)
+    /// * `hotspot` (10/90) or `hotspot-<hot>/<access>` in percent
+    /// * `latest` (θ = 0.99) or `latest-<theta>`
+    pub fn parse(s: &str) -> Result<KeyDist, String> {
+        let s = s.trim();
+        let theta_of = |rest: Option<&str>| -> Result<f64, String> {
+            let Some(rest) = rest else { return Ok(0.99) };
+            let theta: f64 =
+                rest.parse().map_err(|_| format!("bad theta '{rest}' (want e.g. 0.99)"))?;
+            if !(theta > 0.0 && theta < 1.0) {
+                return Err(format!("theta {theta} out of range (0, 1)"));
+            }
+            Ok(theta)
+        };
+        if s == "uniform" {
+            Ok(KeyDist::Uniform)
+        } else if let Some(rest) = strip_family(s, "zipf") {
+            Ok(KeyDist::Zipfian { theta: theta_of(rest)? })
+        } else if let Some(rest) = strip_family(s, "latest") {
+            Ok(KeyDist::Latest { theta: theta_of(rest)? })
+        } else if let Some(rest) = strip_family(s, "hotspot") {
+            let Some(rest) = rest else { return Ok(KeyDist::HOTSPOT_10_90) };
+            let (hot, access) = rest
+                .split_once('/')
+                .ok_or_else(|| format!("bad hotspot '{rest}' (want e.g. 10/90)"))?;
+            let hot: u8 = hot.parse().map_err(|_| format!("bad hot percent '{hot}'"))?;
+            let access: u8 =
+                access.parse().map_err(|_| format!("bad access percent '{access}'"))?;
+            if hot == 0 || hot > 100 || access > 100 {
+                return Err(format!(
+                    "hotspot {hot}/{access} out of range (hot 1..=100, access 0..=100)"
+                ));
+            }
+            Ok(KeyDist::Hotspot { hot_pct: hot, access_pct: access })
+        } else {
+            Err(format!(
+                "unknown distribution '{s}' (want uniform, zipf[-theta], hotspot[-N/M], latest[-theta])"
+            ))
+        }
+    }
+}
+
+/// `"zipf"` → `Some(None)`, `"zipf-0.9"` → `Some(Some("0.9"))`,
+/// otherwise `None`.
+fn strip_family<'a>(s: &'a str, family: &str) -> Option<Option<&'a str>> {
+    let rest = s.strip_prefix(family)?;
+    if rest.is_empty() {
+        Some(None)
+    } else {
+        rest.strip_prefix('-').map(Some)
+    }
+}
+
+/// Precomputed Gray et al. zipfian quantile parameters over `n` ranks.
+/// Construction is O(n) (the `ζ(n, θ)` sum); sampling is O(1).
+#[derive(Debug, Clone, Copy)]
+struct Zipf {
+    n: u64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+    half_pow: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl Zipf {
+    fn new(n: u64, theta: f64) -> Self {
+        let n = n.max(1);
+        assert!(theta > 0.0 && theta < 1.0, "zipfian theta must be in (0, 1), got {theta}");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = if n == 1 {
+            0.0
+        } else {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan)
+        };
+        Self { n, zetan, alpha, eta, half_pow: 0.5f64.powf(theta) }
+    }
+
+    /// Maps a uniform `u ∈ [0, 1)` to a rank in `[0, n)`; rank 0 is the
+    /// most frequent.
+    #[inline]
+    fn rank(&self, u: f64) -> u64 {
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.n >= 2 && uz < 1.0 + self.half_pow {
+            return 1;
+        }
+        (((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64)
+            .min(self.n - 1)
+    }
+}
+
+/// A constructed sampler: one `KeyDist` bound to a key range
+/// `[1, range]`, with any O(range) precomputation (the zipfian zeta sum)
+/// done once. `Copy` and tiny, so one sampler can be built per run and
+/// handed to every thread's stream.
+#[derive(Debug, Clone, Copy)]
+pub struct KeySampler {
+    dist: KeyDist,
+    range: u64,
+    zipf: Option<Zipf>,
+}
+
+impl KeySampler {
+    /// Builds the sampler for `dist` over keys `[1, range]`.
+    pub fn new(dist: KeyDist, range: u64) -> Self {
+        let range = range.max(1);
+        let zipf = match dist {
+            KeyDist::Zipfian { theta } | KeyDist::Latest { theta } => Some(Zipf::new(range, theta)),
+            _ => None,
+        };
+        Self { dist, range, zipf }
+    }
+
+    /// The key range bound (keys are `1..=range()`).
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+
+    /// The distribution this sampler draws from.
+    pub fn dist(&self) -> KeyDist {
+        self.dist
+    }
+
+    /// The hot-set size for a hotspot sampler (`None` otherwise).
+    fn hot_count(&self) -> Option<u64> {
+        match self.dist {
+            KeyDist::Hotspot { hot_pct, .. } => {
+                // u128: `range * 100` must not wrap for ranges past 2^57.
+                let hot = (self.range as u128 * hot_pct as u128 / 100) as u64;
+                Some(hot.max(1).min(self.range))
+            }
+            _ => None,
+        }
+    }
+
+    /// Draws one key in `[1, range]`. `clock` is the stream's op index;
+    /// only the Latest distribution reads it (the head it trails is
+    /// `clock % range`, advancing one key per op).
+    #[inline]
+    pub fn sample(&self, rng: &mut Xorshift, clock: u64) -> u64 {
+        match self.dist {
+            KeyDist::Uniform => rng.key(self.range),
+            KeyDist::Zipfian { .. } => self.zipf.expect("built with table").rank(rng.unit()) + 1,
+            KeyDist::Hotspot { access_pct, .. } => {
+                let hot = self.hot_count().expect("hotspot");
+                if rng.bounded(100) < access_pct as u64 {
+                    rng.key(hot)
+                } else if self.range > hot {
+                    hot + rng.key(self.range - hot)
+                } else {
+                    rng.key(self.range)
+                }
+            }
+            KeyDist::Latest { .. } => {
+                let offset = self.zipf.expect("built with table").rank(rng.unit());
+                let head = clock % self.range;
+                (head + self.range - offset) % self.range + 1
+            }
+        }
+    }
+
+    /// The probability a *single* draw lands on key `k` (1-based), at a
+    /// fixed `clock`. Closed-form per distribution; the basis of the
+    /// statistical self-check.
+    pub fn key_weight(&self, k: u64, clock: u64) -> f64 {
+        debug_assert!((1..=self.range).contains(&k));
+        match self.dist {
+            KeyDist::Uniform => 1.0 / self.range as f64,
+            KeyDist::Zipfian { theta } => {
+                1.0 / (k as f64).powf(theta) / self.zipf.expect("table").zetan
+            }
+            KeyDist::Hotspot { access_pct, .. } => {
+                let hot = self.hot_count().expect("hotspot");
+                let a = access_pct as f64 / 100.0;
+                if self.range == hot {
+                    1.0 / self.range as f64
+                } else if k <= hot {
+                    a / hot as f64
+                } else {
+                    (1.0 - a) / (self.range - hot) as f64
+                }
+            }
+            KeyDist::Latest { theta } => {
+                // Distance behind the head, rank-weighted.
+                let head = clock % self.range;
+                let offset = (head + self.range - (k - 1)) % self.range;
+                1.0 / (offset as f64 + 1.0).powf(theta) / self.zipf.expect("table").zetan
+            }
+        }
+    }
+
+    /// Closed-form expected frequency mass per bucket when the key range
+    /// is split into `n_buckets` contiguous, near-equal slices.
+    ///
+    /// For Latest the weights are the *long-run* average over a full head
+    /// sweep — uniform across buckets — because the head visits every
+    /// position of the range once per `range` ops; windows much shorter
+    /// than `range` are skewed towards the head and should be checked
+    /// with [`KeySampler::key_weight`] at a fixed clock instead.
+    pub fn expected_weights(&self, n_buckets: usize) -> Vec<f64> {
+        let n_buckets = n_buckets.max(1);
+        match self.dist {
+            // Uniform mass per key: each bucket's weight is just its key
+            // count, computable from the bucket boundaries in
+            // O(n_buckets) — a production-sized range must not force an
+            // O(range) walk here.
+            KeyDist::Uniform | KeyDist::Latest { .. } => (0..n_buckets)
+                .map(|b| {
+                    let (lo, hi) = bucket_bounds(b, self.range, n_buckets);
+                    (hi - lo) as f64 / self.range as f64
+                })
+                .collect(),
+            // Hotspot is piecewise-uniform (flat over the hot set, flat
+            // over the cold set), so each bucket's mass follows from how
+            // its boundary interval overlaps the split point — also
+            // O(n_buckets).
+            KeyDist::Hotspot { access_pct, .. } => {
+                let hot = self.hot_count().expect("hotspot");
+                let a = access_pct as f64 / 100.0;
+                (0..n_buckets)
+                    .map(|b| {
+                        let (lo, hi) = bucket_bounds(b, self.range, n_buckets);
+                        // lo/hi are 0-based key indices; hot indices are
+                        // [0, hot).
+                        let hot_in = hi.min(hot).saturating_sub(lo);
+                        let cold_in = (hi - lo) - hot_in;
+                        if self.range == hot {
+                            (hi - lo) as f64 / self.range as f64
+                        } else {
+                            hot_in as f64 * a / hot as f64
+                                + cold_in as f64 * (1.0 - a) / (self.range - hot) as f64
+                        }
+                    })
+                    .collect()
+            }
+            // Zipfian genuinely needs the per-key pmf summed: O(range),
+            // matching the sampler's own O(range) zeta construction.
+            KeyDist::Zipfian { .. } => {
+                let mut weights = vec![0.0f64; n_buckets];
+                for k in 1..=self.range {
+                    weights[bucket_of(k, self.range, n_buckets)] += self.key_weight(k, 0);
+                }
+                weights
+            }
+        }
+    }
+}
+
+/// The bucket index of key `k` (1-based; 0 is clamped to key 1 so the
+/// exported helper is total) when `[1, range]` splits into `n_buckets`
+/// contiguous slices.
+pub fn bucket_of(k: u64, range: u64, n_buckets: usize) -> usize {
+    (((k.max(1) - 1) as u128 * n_buckets as u128) / range.max(1) as u128) as usize
+}
+
+/// The half-open 0-based key-index interval `[lo, hi)` of bucket `b`
+/// under [`bucket_of`]'s split: index `i = k - 1` is in bucket `b` iff
+/// `b * range <= i * n_buckets < (b + 1) * range`, i.e. between the
+/// interval's ceiling boundaries.
+fn bucket_bounds(b: usize, range: u64, n_buckets: usize) -> (u64, u64) {
+    let lo = (b as u128 * range as u128).div_ceil(n_buckets as u128);
+    let hi = ((b as u128 + 1) * range as u128).div_ceil(n_buckets as u128);
+    (lo as u64, hi as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::ZIPF_99,
+            KeyDist::Zipfian { theta: 0.5 },
+            KeyDist::HOTSPOT_10_90,
+            KeyDist::Hotspot { hot_pct: 5, access_pct: 95 },
+            KeyDist::Latest { theta: 0.99 },
+        ] {
+            assert_eq!(KeyDist::parse(&dist.label()), Ok(dist), "label {}", dist.label());
+        }
+    }
+
+    #[test]
+    fn parse_defaults_and_errors() {
+        assert_eq!(KeyDist::parse("zipf"), Ok(KeyDist::ZIPF_99));
+        assert_eq!(KeyDist::parse("latest"), Ok(KeyDist::Latest { theta: 0.99 }));
+        assert_eq!(KeyDist::parse("hotspot"), Ok(KeyDist::HOTSPOT_10_90));
+        assert!(KeyDist::parse("zipf-1.5").is_err(), "theta >= 1 rejected");
+        assert!(KeyDist::parse("zipf-0").is_err(), "theta <= 0 rejected");
+        assert!(KeyDist::parse("hotspot-0/90").is_err(), "empty hot set rejected");
+        assert!(KeyDist::parse("hotspot-10").is_err(), "missing access split");
+        assert!(KeyDist::parse("ycsb").is_err());
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = Xorshift::new(5);
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::ZIPF_99,
+            KeyDist::HOTSPOT_10_90,
+            KeyDist::Latest { theta: 0.99 },
+        ] {
+            for range in [1u64, 2, 7, 1000] {
+                let s = KeySampler::new(dist, range);
+                for clock in 0..2000 {
+                    let k = s.sample(&mut rng, clock);
+                    assert!((1..=range).contains(&k), "{dist:?} range={range} drew {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::ZIPF_99,
+            KeyDist::HOTSPOT_10_90,
+            KeyDist::Latest { theta: 0.9 },
+        ] {
+            let s = KeySampler::new(dist, 1000);
+            let total: f64 = s.expected_weights(16).iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{dist:?} weights sum {total}");
+            let direct: f64 = (1..=1000).map(|k| s.key_weight(k, 123)).sum();
+            assert!((direct - 1.0).abs() < 1e-9, "{dist:?} key weights sum {direct}");
+        }
+    }
+
+    #[test]
+    fn uniform_bucket_weights_match_boundaries() {
+        // Non-divisible split: 10 keys over 3 buckets is 4/3/3 under
+        // bucket_of; the closed-form boundary count must agree with a
+        // brute-force walk.
+        let s = KeySampler::new(KeyDist::Uniform, 10);
+        let weights = s.expected_weights(3);
+        let mut brute = [0.0f64; 3];
+        for k in 1..=10u64 {
+            brute[bucket_of(k, 10, 3)] += 0.1;
+        }
+        for (w, b) in weights.iter().zip(brute) {
+            assert!((w - b).abs() < 1e-12, "{weights:?} vs {brute:?}");
+        }
+        // And a production-sized range must not force an O(range) walk.
+        let s = KeySampler::new(KeyDist::Uniform, 1 << 40);
+        let weights = s.expected_weights(16);
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(weights.iter().all(|w| (w - 1.0 / 16.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn hotspot_bucket_weights_match_brute_force() {
+        // Prime range and bucket count: the hot/cold split point lands
+        // mid-bucket and bucket boundaries are non-aligned.
+        let s = KeySampler::new(KeyDist::HOTSPOT_10_90, 997);
+        let weights = s.expected_weights(7);
+        let mut brute = vec![0.0f64; 7];
+        for k in 1..=997u64 {
+            brute[bucket_of(k, 997, 7)] += s.key_weight(k, 0);
+        }
+        for (w, b) in weights.iter().zip(&brute) {
+            assert!((w - b).abs() < 1e-12, "{weights:?} vs {brute:?}");
+        }
+        // All-hot degenerate case collapses to uniform.
+        let s = KeySampler::new(KeyDist::Hotspot { hot_pct: 100, access_pct: 90 }, 100);
+        let weights = s.expected_weights(4);
+        assert!(weights.iter().all(|w| (w - 0.25).abs() < 1e-12), "{weights:?}");
+        // And a production-sized range must not force an O(range) walk.
+        let s = KeySampler::new(KeyDist::HOTSPOT_10_90, 1 << 40);
+        let weights = s.expected_weights(10);
+        assert!((weights[0] - 0.9).abs() < 1e-9, "{weights:?}");
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_rank_quantiles_match_mass() {
+        // The quantile approximation must agree with the rank mass: the
+        // u-interval mapping to rank 0 has width weight(rank 0).
+        let s = KeySampler::new(KeyDist::ZIPF_99, 10_000);
+        let w1 = s.key_weight(1, 0);
+        let z = s.zipf.unwrap();
+        assert_eq!(z.rank(w1 * 0.999), 0);
+        assert!(z.rank(w1 * 1.2) >= 1);
+    }
+}

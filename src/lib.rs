@@ -16,6 +16,10 @@
 //! * [`logbased`] — the redo-logged lock-based baselines of §6.2.
 //! * [`nvmemcached`] — **NV-Memcached** (§6.5) and its volatile
 //!   comparison points, plus a memtier-style workload driver.
+//! * [`workload`] — the traffic engine under every harness: key
+//!   distributions (uniform/zipfian/hotspot/latest), op mixes,
+//!   value-size models, deterministic per-thread streams, and a
+//!   statistical self-check.
 //! * `crashtest` (dev) — systematic crash-point injection: enumerates
 //!   every persist-relevant event, crashes there, recovers, and
 //!   validates against an operation oracle (DESIGN.md, "Crash-point
@@ -63,6 +67,7 @@ pub use logfree;
 pub use nvalloc;
 pub use nvmemcached;
 pub use pmem;
+pub use workload;
 
 /// Convenient re-exports of the items nearly every user needs.
 pub mod prelude {
