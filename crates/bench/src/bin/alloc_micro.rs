@@ -1,0 +1,24 @@
+//! **Allocator microbenchmark** (beyond the paper): pure alloc/recycle
+//! throughput of the NV-epochs allocator with durable thread-local
+//! allocation buffers on versus off.
+//!
+//! Axes: rows — alloc size (64/256 B) x threads (1/4) x `tlab` (1/0);
+//! y — allocations/s, with the TLAB hit rate and refill count as
+//! metrics. Each worker allocates a burst of nodes inside one epoch op
+//! and then recycles them all with `dealloc_unlinked`, so the heap
+//! footprint stays bounded while the allocation hot path runs
+//! continuously. The `tlab=1` rows should meet or beat their `tlab=0`
+//! twins: leased allocations skip the bitmap probe and the APT lookup
+//! while paying the same sync count per page.
+//!
+//! Knobs: `TLAB=0` affects fig5/fig9b A/B rows, not this sweep (it
+//! always measures both settings). `MEASURE_MS`, `REPEATS`, `NVRAM_NS`
+//! as everywhere (BENCHMARKS.md).
+//!
+//! Thin wrapper over [`bench::experiments::alloc_micro`].
+
+fn main() {
+    let cfg = bench::RunConfig::from_env();
+    let report = bench::experiments::alloc_micro(&cfg);
+    print!("{}", bench::report::render_text(&report));
+}

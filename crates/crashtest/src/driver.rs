@@ -55,8 +55,8 @@ pub struct CrashReport {
     pub seed: u64,
     /// Total persist-relevant events in the trace (= crash points).
     pub total_events: u64,
-    /// Event taxonomy: `(clwbs, fences, link publishes)`.
-    pub event_kinds: (u64, u64, u64),
+    /// Event taxonomy: `(clwbs, fences, link publishes, TLAB leases)`.
+    pub event_kinds: (u64, u64, u64, u64),
     /// Crash points actually replayed (less than `total_events` when
     /// sampled).
     pub points_tested: usize,
@@ -233,6 +233,7 @@ pub fn run_crash_points<T: CrashTarget>(cfg: &CrashConfig) -> CrashReport {
             count_plan.kind_count(CrashEvent::Clwb),
             count_plan.kind_count(CrashEvent::Fence),
             count_plan.kind_count(CrashEvent::LinkPublish),
+            count_plan.kind_count(CrashEvent::TlabLease),
         ),
         points_tested: points.len(),
         violations,

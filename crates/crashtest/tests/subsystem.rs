@@ -88,11 +88,28 @@ fn count_phase_is_deterministic() {
     assert_eq!(spans_a, spans_b, "op spans must replay exactly");
     assert_eq!(trace_a, trace_b, "traces must regenerate exactly");
     assert!(plan_a.events() > c.trace_len as u64, "update-heavy trace produces events");
-    // The taxonomy is populated: all three event kinds occur.
+    // The taxonomy is populated: all four event kinds occur.
     use pmem::CrashEvent::*;
-    for kind in [Clwb, Fence, LinkPublish] {
+    for kind in [Clwb, Fence, LinkPublish, TlabLease] {
         assert!(plan_a.kind_count(kind) > 0, "no {kind:?} events recorded");
     }
+}
+
+/// Every structure target and the sharded cache emit TLAB lease crash
+/// points, so the exhaustive matrix above enumerates lease
+/// publish/retire transitions for all of them (zero-leak audited by
+/// `crash_at`'s `count_unreachable` check at every index).
+#[test]
+fn tlab_lease_events_cover_all_targets() {
+    let c = cfg();
+    let lease =
+        |plan: &std::sync::Arc<pmem::CrashPlan>| plan.kind_count(pmem::CrashEvent::TlabLease);
+    assert!(lease(&count_events::<ListTarget>(&c).0) > 0, "list");
+    assert!(lease(&count_events::<HashTarget>(&c).0) > 0, "hash");
+    assert!(lease(&count_events::<SkipTarget>(&c).0) > 0, "skiplist");
+    assert!(lease(&count_events::<BstTarget>(&c).0) > 0, "bst");
+    assert!(lease(&count_events::<MemcachedTarget>(&c).0) > 0, "memcached");
+    assert!(lease(&count_sharded_events(&c, 3).0) > 0, "sharded cache");
 }
 
 #[test]

@@ -150,6 +150,50 @@ impl PageHeader {
         (free != 0).then(|| free.trailing_zeros() as usize)
     }
 
+    /// Index of a free slot at or after `cursor`, falling back to the
+    /// lowest free slot when everything from `cursor` on is taken.
+    ///
+    /// The cursor turns the owner thread's sequential fill of a page into
+    /// O(1) next-free lookups instead of an O(slots) rescan from slot 0;
+    /// because the fallback picks the lowest free slot, a caller that
+    /// lowers its cursor on every local free observes exactly the
+    /// lowest-free-first order of [`Self::find_free`] in single-threaded
+    /// use.
+    pub fn find_free_at(
+        pool: &PmemPool,
+        page: usize,
+        class: usize,
+        cursor: usize,
+    ) -> Option<usize> {
+        let bm = Self::bitmap(pool, page).load(Ordering::Acquire);
+        let n = slots_in_class(class);
+        let free = !bm & ((1u64 << n) - 1);
+        if free == 0 {
+            return None;
+        }
+        let ahead = free & !((1u64 << cursor.min(63)) - 1);
+        let pick = if ahead != 0 { ahead } else { free };
+        Some(pick.trailing_zeros() as usize)
+    }
+
+    /// Longest contiguous run of free slots, as `(start, len)`, or `None`
+    /// when the page is full. TLAB refills lease the returned run.
+    pub fn find_run(pool: &PmemPool, page: usize, class: usize) -> Option<(usize, usize)> {
+        let bm = Self::bitmap(pool, page).load(Ordering::Acquire);
+        let n = slots_in_class(class);
+        let mut free = !bm & ((1u64 << n) - 1);
+        let mut best = (0usize, 0usize);
+        while free != 0 {
+            let start = free.trailing_zeros() as usize;
+            let len = (free >> start).trailing_ones() as usize;
+            if len > best.1 {
+                best = (start, len);
+            }
+            free &= !(((1u64 << len) - 1) << start);
+        }
+        (best.1 > 0).then_some(best)
+    }
+
     /// Whether the page has no allocated slots.
     pub fn is_empty(pool: &PmemPool, page: usize) -> bool {
         Self::bitmap(pool, page).load(Ordering::Acquire) == 0
@@ -396,6 +440,45 @@ mod tests {
         assert_eq!(PageHeader::find_free(&pool, page, 0), Some(0));
         PageHeader::clear(&pool, page, 5);
         assert!(PageHeader::is_empty(&pool, page));
+    }
+
+    #[test]
+    fn find_free_at_prefers_cursor_then_falls_back() {
+        let (pool, heap, mut f) = heap();
+        let page = heap.acquire_page(0, &mut f).unwrap();
+        for i in 0..5 {
+            PageHeader::try_set(&pool, page, i);
+        }
+        assert_eq!(PageHeader::find_free_at(&pool, page, 0, 5), Some(5));
+        assert_eq!(PageHeader::find_free_at(&pool, page, 0, 9), Some(9));
+        // Everything from the cursor on is taken: fall back to the lowest
+        // free slot rather than declaring the page full.
+        let n = slots_in_class(0);
+        for i in 9..n {
+            PageHeader::try_set(&pool, page, i);
+        }
+        PageHeader::clear(&pool, page, 2);
+        assert_eq!(PageHeader::find_free_at(&pool, page, 0, 9), Some(2));
+        PageHeader::try_set(&pool, page, 2);
+        for i in 5..9 {
+            PageHeader::try_set(&pool, page, i);
+        }
+        assert_eq!(PageHeader::find_free_at(&pool, page, 0, 0), None);
+    }
+
+    #[test]
+    fn find_run_picks_longest_free_run() {
+        let (pool, heap, mut f) = heap();
+        let page = heap.acquire_page(0, &mut f).unwrap();
+        let n = slots_in_class(0);
+        assert_eq!(PageHeader::find_run(&pool, page, 0), Some((0, n)));
+        // Split the free space: 0..3 free, slot 3 taken, 4.. free.
+        PageHeader::try_set(&pool, page, 3);
+        assert_eq!(PageHeader::find_run(&pool, page, 0), Some((4, n - 4)));
+        for i in 0..n {
+            PageHeader::try_set(&pool, page, i);
+        }
+        assert_eq!(PageHeader::find_run(&pool, page, 0), None);
     }
 
     #[test]

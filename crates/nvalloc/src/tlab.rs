@@ -1,0 +1,122 @@
+//! Durable **thread-local allocation buffers** (TLABs).
+//!
+//! The paper's allocation-locality argument (§5.1) says a thread should
+//! almost always be allocating from memory it already owns. The base
+//! allocator gets part of the way there with per-thread current pages,
+//! but every allocation still probes the shared page bitmap and the
+//! active-page-table index. A TLAB removes both from the hot path: the
+//! thread *leases* a contiguous run of free slots from a page and then
+//! privately bumps through the run — one compare-free pointer increment
+//! per allocation, exactly the `ThreadLocalAllocBuffer` shape used by
+//! modern GC runtimes.
+//!
+//! # Durability
+//!
+//! A lease is published **once**, durably, before the first slot of the
+//! run is marked allocated: the per-thread, per-class *lease word* lives
+//! in the tail of the thread's APT row (see [`crate::apt`]) and encodes
+//! `(page, start, end)`. Recovery unions the lease pages into the
+//! active-page scan set, so a crash mid-lease costs at most one extra
+//! page scan per thread per class — a *bounded* leak scan, never a heap
+//! walk. The word is written only at refill and retire, never on the
+//! per-allocation bump path.
+//!
+//! # Lifecycle
+//!
+//! * **Refill** (`ThreadCtx::refill_tlab`): park the previous lease,
+//!   acquire a page, pick its longest free run, durably publish the
+//!   lease word, then bump privately.
+//! * **Park/retire**: on `seal_generation`, thread drop, OOM pressure
+//!   and mode switches the unused remainder is returned to the shared
+//!   reusable list and the lease word is lazily cleared (a stale lease
+//!   word is safe — it only widens the recovery scan).
+//!
+//! Both transitions emit a [`pmem::CrashEvent::TlabLease`] crash point
+//! so the crashtest matrix enumerates them.
+
+/// Volatile bump state of one size class's lease.
+///
+/// `page == 0` means "no lease". `next..end` are the slot indices still
+/// available to bump through; slots are only marked in the page bitmap
+/// as they are handed out, so the un-bumped remainder stays visibly free
+/// to the rest of the heap.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Tlab {
+    /// Leased page address (0 = no active lease).
+    pub page: usize,
+    /// Next slot index to hand out.
+    pub next: usize,
+    /// One past the last leased slot index.
+    pub end: usize,
+}
+
+impl Tlab {
+    /// No active lease.
+    pub const EMPTY: Tlab = Tlab { page: 0, next: 0, end: 0 };
+
+    /// Whether the lease has slots left to bump through.
+    #[inline]
+    pub fn has_room(&self) -> bool {
+        self.page != 0 && self.next < self.end
+    }
+}
+
+/// Packs a lease into its durable word: the page address (4 KiB aligned,
+/// so its low 12 bits are zero) carries `start` and `end` in those free
+/// bits (6 bits each — slot indices never exceed 62). A zero word means
+/// "no lease".
+#[inline]
+pub fn encode_lease(page: usize, start: usize, end: usize) -> u64 {
+    debug_assert_eq!(page & 0xFFF, 0, "page must be 4 KiB aligned");
+    debug_assert!(page != 0 && start <= 63 && end <= 63 && start <= end);
+    page as u64 | ((start as u64) << 6) | end as u64
+}
+
+/// The leased page recorded in a lease word (0 when no lease).
+#[inline]
+pub fn lease_page(word: u64) -> usize {
+    (word & !0xFFF) as usize
+}
+
+/// The first leased slot index recorded in a lease word.
+#[inline]
+pub fn lease_start(word: u64) -> usize {
+    ((word >> 6) & 0x3F) as usize
+}
+
+/// One past the last leased slot index recorded in a lease word.
+#[inline]
+pub fn lease_end(word: u64) -> usize {
+    (word & 0x3F) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_word_round_trips() {
+        for &(page, start, end) in
+            &[(0x10_000usize, 0usize, 63usize), (0x7F_F000, 5, 5), (0x123_4000, 17, 62)]
+        {
+            let w = encode_lease(page, start, end);
+            assert_eq!(lease_page(w), page);
+            assert_eq!(lease_start(w), start);
+            assert_eq!(lease_end(w), end);
+        }
+    }
+
+    #[test]
+    fn zero_word_means_no_lease() {
+        assert_eq!(lease_page(0), 0);
+        assert!(!Tlab::EMPTY.has_room());
+    }
+
+    #[test]
+    fn exhausted_lease_has_no_room() {
+        let t = Tlab { page: 0x10_000, next: 7, end: 7 };
+        assert!(!t.has_room());
+        let t = Tlab { page: 0x10_000, next: 3, end: 7 };
+        assert!(t.has_room());
+    }
+}

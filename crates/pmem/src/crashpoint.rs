@@ -9,6 +9,9 @@
 //! * [`CrashEvent::Fence`] — a fence is about to drain its batch,
 //! * [`CrashEvent::LinkPublish`] — a state-changing link CAS is about to
 //!   be attempted (emitted by the data-structure layer),
+//! * [`CrashEvent::TlabLease`] — a thread-local allocation-buffer lease
+//!   is about to be durably published or retired (emitted by the
+//!   allocator layer),
 //!
 //! and when the counter reaches the plan's target the plan's one-shot
 //! hook runs *before the event takes effect*. The hook typically captures
@@ -51,10 +54,15 @@ pub enum CrashEvent {
     /// is about to be attempted. Emitted by the data-structure layer via
     /// [`crate::Flusher::note_crash_event`].
     LinkPublish = 2,
+    /// A thread-local allocation-buffer lease word is about to be durably
+    /// published (refill) or cleared (retire/park). Emitted by the
+    /// allocator layer via [`crate::Flusher::note_crash_event`]; crashing
+    /// here exercises recovery with a half-transferred lease.
+    TlabLease = 3,
 }
 
 /// Number of distinct [`CrashEvent`] kinds.
-pub const N_EVENT_KINDS: usize = 3;
+pub const N_EVENT_KINDS: usize = 4;
 
 /// One-shot callback run when the plan's target event is reached.
 pub type CrashHook = Box<dyn FnOnce() + Send>;
@@ -187,9 +195,12 @@ mod tests {
         plan.note(CrashEvent::Clwb);
         plan.note(CrashEvent::Fence);
         plan.note(CrashEvent::LinkPublish);
+        plan.note(CrashEvent::TlabLease);
+        plan.note(CrashEvent::TlabLease);
         assert_eq!(plan.kind_count(CrashEvent::Clwb), 2);
         assert_eq!(plan.kind_count(CrashEvent::Fence), 1);
         assert_eq!(plan.kind_count(CrashEvent::LinkPublish), 1);
+        assert_eq!(plan.kind_count(CrashEvent::TlabLease), 2);
     }
 
     #[test]

@@ -275,3 +275,117 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Heap geometry round-trips: `class_of` maps the whole (prev, size]
+    /// interval to the class, every slot of every class fits inside its
+    /// page, and `slot_addr`/`slot_index`/`page_of` invert each other.
+    #[test]
+    fn heap_geometry_round_trips(
+        class in 0..nvram_logfree::nvalloc::N_CLASSES,
+        slot_seed in any::<u64>(),
+        page_idx in 1..512usize,
+    ) {
+        use nvram_logfree::nvalloc::{
+            class_of, page_of, slots_in_class, PageHeader, CLASSES, PAGE_SIZE,
+        };
+        let size = CLASSES[class];
+        prop_assert_eq!(class_of(size), class);
+        let prev = if class == 0 { 0 } else { CLASSES[class - 1] };
+        prop_assert_eq!(class_of(prev + 1), class);
+        let slots = slots_in_class(class);
+        prop_assert!((1..=63).contains(&slots), "class {} has {} slots", class, slots);
+        let page = page_idx * PAGE_SIZE;
+        let i = (slot_seed as usize) % slots;
+        let addr = PageHeader::slot_addr(page, class, i);
+        prop_assert!(addr + size <= page + PAGE_SIZE, "slot {} overflows its page", i);
+        prop_assert_eq!(page_of(addr), page);
+        prop_assert_eq!(PageHeader::slot_index(addr, class), i);
+    }
+
+    /// The durable TLAB lease word encodes (page, start, end) losslessly
+    /// for every page-aligned address and in-range slot window.
+    #[test]
+    fn tlab_lease_word_round_trips(
+        page_idx in 1..(1usize << 20),
+        start in 0..62usize,
+        len in 1..63usize,
+    ) {
+        use nvram_logfree::nvalloc::tlab;
+        let page = page_idx * 4096;
+        let end = (start + len).min(63);
+        prop_assert!(start < end);
+        let w = tlab::encode_lease(page, start, end);
+        prop_assert_eq!(tlab::lease_page(w), page);
+        prop_assert_eq!(tlab::lease_start(w), start);
+        prop_assert_eq!(tlab::lease_end(w), end);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// TLAB lease recovery invariant: run a random alloc/retire script
+    /// (leases live across op boundaries), crash at a random
+    /// persist-relevant event, recover — every durably-allocated slot is
+    /// reclaimed (nothing is reachable) and every lease word is cleared.
+    #[test]
+    fn tlab_lease_recovers_with_zero_leaks_at_random_cut(
+        script in proptest::collection::vec((any::<bool>(), 0..4usize), 1..200),
+        cut_seed in any::<u64>(),
+    ) {
+        use nvram_logfree::pmem::CrashPlan;
+        let run = |pool: &Arc<PmemPool>, plan: &Arc<CrashPlan>| {
+            let domain = NvDomain::create(Arc::clone(pool));
+            pool.install_crash_plan(Arc::clone(plan));
+            let mut ctx = domain.register();
+            let sizes = [24usize, 100, 180, 250];
+            let mut live: Vec<usize> = Vec::new();
+            for &(is_alloc, class) in &script {
+                ctx.begin_op();
+                if is_alloc || live.is_empty() {
+                    live.push(ctx.alloc(sizes[class]).unwrap());
+                } else {
+                    let a = live.swap_remove(live.len() / 2);
+                    ctx.retire(a);
+                }
+                ctx.end_op();
+            }
+            drop(ctx); // drop-time lease retire is in the event stream
+            pool.clear_crash_plan();
+        };
+        let pool = crash_pool(8);
+        let count = CrashPlan::count_only();
+        run(&pool, &count);
+        let total = count.events();
+        prop_assert!(total > 0);
+        let k = cut_seed % (total + 1);
+
+        let pool = crash_pool(8);
+        let image = Arc::new(std::sync::Mutex::new(None));
+        let plan = CrashPlan::fire_at(k, {
+            let pool = Arc::clone(&pool);
+            let image = Arc::clone(&image);
+            Box::new(move || {
+                *image.lock().unwrap() = Some(pool.capture_crash_image().unwrap());
+            })
+        });
+        run(&pool, &plan);
+        let img = image
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or_else(|| pool.capture_crash_image().unwrap());
+        // SAFETY: the script has finished; no other thread uses the pool.
+        unsafe { pool.crash_to_image(&img).unwrap() };
+
+        let domain = NvDomain::attach(Arc::clone(&pool));
+        domain.recover_leaks(|_| false);
+        prop_assert_eq!(domain.count_unreachable(|_| false), 0,
+            "crash at event {}/{} leaked slots", k, total);
+        prop_assert!(nvram_logfree::nvalloc::apt::lease_pages(&pool).is_empty(),
+            "crash at event {}/{} left a lease word", k, total);
+    }
+}
