@@ -16,15 +16,20 @@
 //! * `--baseline <file>` — also compare against a previous
 //!   `BENCH_results.json`: the process exits non-zero if any
 //!   measurement's median throughput dropped by more than the threshold
-//!   relative to the baseline.
+//!   relative to the baseline. A baseline whose `schema_version` differs
+//!   from this binary's is refused (exit 2) rather than compared.
 //! * `--threshold <pct>` — regression threshold in percent (default 25).
 //! * `--only <id,id,...>` — run a subset of the registry (ids as in
-//!   `BENCH_results.json`, e.g. `fig5,fig10`).
+//!   `BENCH_results.json`, e.g. `fig5,fig10`). Requires an explicit
+//!   `--out`: a partial run is refused at the default path so it can
+//!   never clobber the full committed baseline.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use bench::report::{baseline_coverage, compare, render_text, BenchResults, Json};
+use bench::report::{
+    baseline_coverage, compare, render_text, schema_version, BenchResults, Json, SCHEMA_VERSION,
+};
 use bench::{experiments, RunConfig};
 
 fn usage() -> ! {
@@ -34,8 +39,12 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
+/// Default `--out` destination — the path the committed baseline lives
+/// at, which is why `--only` refuses to write there (see below).
+const DEFAULT_OUT: &str = "BENCH_results.json";
+
 fn main() -> ExitCode {
-    let mut out_path = String::from("BENCH_results.json");
+    let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut threshold = 25.0f64;
     let mut only: Option<Vec<String>> = None;
@@ -49,7 +58,7 @@ fn main() -> ExitCode {
             })
         };
         match arg.as_str() {
-            "--out" => out_path = value("--out"),
+            "--out" => out_path = Some(value("--out")),
             "--baseline" => baseline_path = Some(value("--baseline")),
             "--threshold" => {
                 threshold = value("--threshold").parse().unwrap_or_else(|_| {
@@ -75,7 +84,20 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+        // A subset run at the default destination would silently clobber
+        // the full committed baseline with a document missing most of its
+        // experiments — and every later `--baseline` gate against it
+        // would quietly gate nothing. Subset runs must name their output.
+        if out_path.is_none() {
+            eprintln!(
+                "[bench_all] refusing --only without an explicit --out: writing a partial \
+                 registry to the default {DEFAULT_OUT} would clobber the full baseline \
+                 (pass e.g. --out /tmp/subset.json)"
+            );
+            return ExitCode::from(2);
+        }
     }
+    let out_path = out_path.unwrap_or_else(|| DEFAULT_OUT.to_string());
 
     let cfg = RunConfig::from_env();
     eprintln!(
@@ -131,6 +153,28 @@ fn main() -> ExitCode {
             }
         };
         let current = Json::parse(&json_text).expect("own output is valid JSON");
+        // Cross-version comparisons are refused, not silently attempted:
+        // a schema bump means labels/units/row semantics may have moved,
+        // so any rows that *do* join would gate the wrong thing.
+        match schema_version(&baseline) {
+            Some(v) if v == SCHEMA_VERSION => {}
+            Some(v) => {
+                eprintln!(
+                    "[bench_all] baseline {baseline_path} has schema_version {v}, this binary \
+                     writes schema_version {SCHEMA_VERSION}: refusing the cross-version \
+                     comparison. Regenerate the baseline with this binary \
+                     (see BENCHMARKS.md) or compare against a matching run."
+                );
+                return ExitCode::from(2);
+            }
+            None => {
+                eprintln!(
+                    "[bench_all] baseline {baseline_path} carries no integral schema_version \
+                     stamp: not a bench_all document, refusing the comparison"
+                );
+                return ExitCode::from(2);
+            }
+        }
         let (matched, total) = baseline_coverage(&current, &baseline);
         println!(
             "[bench_all] baseline coverage: {matched}/{total} current rows matched in \

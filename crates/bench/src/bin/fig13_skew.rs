@@ -1,7 +1,8 @@
 //! **Figure 13 (beyond the paper)**: the sharded NV-Memcached under
 //! *skewed* traffic.
 //!
-//! Axes: rows — key distribution {uniform, zipf-0.99, hotspot-10/90} x
+//! Axes: rows — key distribution {uniform, zipf-0.99,
+//! zipf-scrambled-0.99, hotspot-10/90} x
 //! shard count {1, 4} over the fixed Figure 11 workload (1:4 set:get,
 //! 100k key range); y — requests/s (`median_throughput`), get hit rate
 //! (`get_hit_rate`), and the per-shard request imbalance

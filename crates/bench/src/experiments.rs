@@ -20,7 +20,10 @@ use pmem::{LatencyModel, Mode, PmemPool, PoolBuilder, TABLE1};
 
 use workload::KeyDist;
 
-use crate::report::{ExperimentReport, Measurement};
+use server::{Server, ServerConfig};
+
+use crate::openloop::{run_open_loop, OpenLoopConfig};
+use crate::report::{ExperimentReport, LatencySummary, Measurement};
 use crate::{build, measure, prefill, run_mixed, DsKind, Flavor, MeasuredRun, RunConfig, RunStats};
 
 /// One registry entry: a stable id, a human title, and the experiment
@@ -37,9 +40,9 @@ pub struct ExperimentSpec {
 
 /// Every experiment of the evaluation, in paper order (Table 1, then
 /// Figures 5–11), plus the beyond-paper shard sweep (`fig12_shards`),
-/// skew sweep (`fig13_skew`), and allocator microbenchmark
-/// (`alloc_micro`).
-pub fn registry() -> [ExperimentSpec; 12] {
+/// skew sweep (`fig13_skew`), open-loop latency sweep
+/// (`fig14_latency`), and allocator microbenchmark (`alloc_micro`).
+pub fn registry() -> [ExperimentSpec; 13] {
     [
         ExperimentSpec {
             id: "table1",
@@ -75,6 +78,11 @@ pub fn registry() -> [ExperimentSpec; 12] {
             id: "fig13_skew",
             title: "sharded NV-Memcached under skewed traffic (dist x shard sweep)",
             run: fig13_skew,
+        },
+        ExperimentSpec {
+            id: "fig14_latency",
+            title: "open-loop request latency over TCP (CO-free percentiles)",
+            run: fig14_latency,
         },
         ExperimentSpec {
             id: "alloc_micro",
@@ -917,13 +925,16 @@ fn imbalance(counts: &[u64]) -> f64 {
 
 /// Figure 13 (beyond the paper): the sharded cache under *skewed*
 /// traffic. The fixed Figure 11 workload (1:4 set:get, 100k key range)
-/// swept across key distributions {uniform, zipf-0.99, hotspot-10/90} x
-/// shard counts {1, 4}, reporting throughput, get hit rate, and the
-/// per-shard request imbalance (max/mean over the new routing tallies).
-/// Skew is where sharding is stressed hardest: the router hashes keys,
-/// so even zipf-hot keys spread across shards, but each hot *key* still
-/// serializes on its home shard — the imbalance metric makes that
-/// visible while the hash keeps it bounded.
+/// swept across key distributions {uniform, zipf-0.99,
+/// zipf-scrambled-0.99, hotspot-10/90} x shard counts {1, 4}, reporting
+/// throughput, get hit rate, and the per-shard request imbalance
+/// (max/mean over the new routing tallies). Skew is where sharding is
+/// stressed hardest: the router hashes keys, so even zipf-hot keys
+/// spread across shards, but each hot *key* still serializes on its
+/// home shard — the imbalance metric makes that visible while the hash
+/// keeps it bounded. The scrambled-zipf row decorrelates rank from key
+/// id (hot keys scattered over the whole range instead of clustered at
+/// small ids), matching how YCSB-style generators exercise hashing.
 pub fn fig13_skew(cfg: &RunConfig) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "fig13_skew",
@@ -935,7 +946,9 @@ pub fn fig13_skew(cfg: &RunConfig) -> ExperimentReport {
     // these rows against the committed CI-sized baseline.
     let range: u64 = 100_000;
     let ops = cfg.memtier_ops;
-    for dist in [KeyDist::Uniform, KeyDist::ZIPF_99, KeyDist::HOTSPOT_10_90] {
+    for dist in
+        [KeyDist::Uniform, KeyDist::ZIPF_99, KeyDist::ZIPF_SCRAMBLED_99, KeyDist::HOTSPOT_10_90]
+    {
         let wl = Workload::paper(range, 42).with_dist(dist).with_value(cfg.value);
         for n_shards in [1usize, 4] {
             // Fresh pools + cache + warm-up per repetition (the paper's
@@ -988,6 +1001,108 @@ pub fn fig13_skew(cfg: &RunConfig) -> ExperimentReport {
     // Rows carry their dist already; this stamps the ` val=` suffix when
     // a non-default VAL_DIST changed the request streams.
     report.fill_dist(&cfg.dist.label(), &cfg.value.label());
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 (beyond the paper): open-loop latency over real sockets
+// ---------------------------------------------------------------------------
+
+/// Figure 14 (beyond the paper): request latency of the sharded
+/// NV-Memcached measured the way a client population would experience
+/// it — over real loopback TCP through the memcached-protocol server,
+/// under *open-loop* Poisson arrivals, with every latency sample taken
+/// from the request's **scheduled** send time (coordinated-omission
+/// free; see [`crate::openloop`]).
+///
+/// Sweeps offered load x connections x shard count over the fixed
+/// Figure 11 workload (1:4 set:get, 10k key range). Each row starts a
+/// fresh warmed cache and server (workers = connections, so no request
+/// ever queues behind another connection's socket), drains the full
+/// arrival schedule, and reports achieved rps plus the merged latency
+/// histogram as p50/p90/p99/p999. `LOAD_RPS` / `CONNS` pin a single
+/// load or connection count for manual sweeps (0 = the defaults).
+pub fn fig14_latency(cfg: &RunConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig14_latency",
+        "open-loop request latency over TCP: offered load x connections x shards",
+        "rows: offered rps x connections x shard count (fig11 workload, fixed 10k range); \
+         y: achieved rps and CO-free latency percentiles (ns, from scheduled send time)",
+    );
+    // Fixed range across scales (like fig12/fig13): identical labels let
+    // the CI smoke gate join these rows against the committed baseline —
+    // the schedule *duration* shrinks instead.
+    let range: u64 = 10_000;
+    let wl = Workload::paper(range, 42).with_dist(cfg.dist);
+    let duration = Duration::from_millis(cfg.measure_ms);
+    let loads: Vec<f64> = if cfg.load_rps != 0 {
+        vec![cfg.load_rps as f64]
+    } else if cfg.full {
+        vec![2_000.0, 10_000.0, 50_000.0]
+    } else {
+        vec![2_000.0, 10_000.0]
+    };
+    let conn_counts: Vec<usize> =
+        if cfg.conns != 0 { vec![cfg.conns as usize] } else { vec![1, 4] };
+    for n_shards in [1usize, 4] {
+        for &conns in &conn_counts {
+            // One server per (shards, conns) point, reused across loads:
+            // the cache is warmed once and the load sweep runs lightest
+            // first, so each row starts from the same steady state.
+            let pools = fig12_pools(range, n_shards);
+            let mc = ShardedNvMemcached::create(
+                &pools,
+                (range as usize / n_shards).max(64),
+                usize::MAX / 2,
+                true,
+            )
+            .expect("pools sized");
+            {
+                let mut ctx = mc.register();
+                for k in wl.warmup_keys() {
+                    mc.set(&mut ctx, k, k).expect("pools sized");
+                }
+            }
+            let server = Server::start(
+                Arc::new(mc),
+                ServerConfig { workers: Some(conns), ..ServerConfig::default() },
+            )
+            .expect("bind loopback");
+            for &offered in &loads {
+                let r = run_open_loop(&OpenLoopConfig {
+                    addr: server.local_addr(),
+                    connections: conns,
+                    offered_rps: offered,
+                    duration,
+                    workload: wl,
+                    seed: 1914,
+                })
+                .expect("open-loop run over loopback");
+                report.measurements.push(
+                    Measurement {
+                        structure: Some("sharded-nv-memcached".to_string()),
+                        threads: Some(conns as u64),
+                        size: Some(range),
+                        median_throughput: Some(r.achieved_rps()),
+                        repeat_throughputs: vec![r.achieved_rps()],
+                        latency: Some(LatencySummary::from_histogram(&r.latency)),
+                        ..Measurement::new(format!(
+                            "load={offered:.0} conns={conns} shards={n_shards}"
+                        ))
+                    }
+                    .metric("offered_rps", offered)
+                    .metric("shards", n_shards as f64)
+                    .metric("connections", conns as f64)
+                    .metric("requests", r.sent as f64)
+                    .metric("get_hit_rate", r.hit_rate()),
+                );
+            }
+            server.shutdown();
+        }
+    }
+    // The wire dialect carries u64 values verbatim, so the modeled
+    // value-size distribution does not apply here.
+    report.fill_dist(&cfg.dist.label(), "n/a");
     report
 }
 

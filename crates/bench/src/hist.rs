@@ -1,0 +1,268 @@
+//! Log-bucketed latency histogram (HDR-histogram style).
+//!
+//! Latency distributions span five or six decades (a cache hit over
+//! loopback is microseconds; a request stuck behind a queue can be
+//! tens of milliseconds), so linear buckets are hopeless and storing
+//! raw samples is wasteful. The classic answer is logarithmic
+//! bucketing with linear sub-buckets: values below
+//! 2<sup>[`SUB_BITS`]</sup> are recorded exactly, and every further
+//! power-of-two range splits into [`SUB_BUCKETS`] equal slices, so the
+//! relative quantization error is bounded by `1 / SUB_BUCKETS` (~3%)
+//! at every magnitude. Recording is O(1) (a leading-zeros count and
+//! two shifts), merging is element-wise addition, and the whole
+//! structure is a fixed ~15 KiB regardless of sample count — one
+//! histogram per connection, merged at the end, costs nothing.
+//!
+//! Percentile queries return the *upper* bound of the containing
+//! bucket: tails are never under-reported, the conservative direction
+//! for a latency SLO.
+
+/// Linear sub-bucket resolution: each power-of-two range splits into
+/// `2^SUB_BITS` slices.
+pub const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per power-of-two range (bounds the relative
+/// quantization error at `1/SUB_BUCKETS`).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` value range: one block
+/// of exact values plus one block per remaining exponent (5..=63).
+const N_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
+
+/// The bucket index of `v`: exact below [`SUB_BUCKETS`], then
+/// `SUB_BUCKETS` linear slices per power of two.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let sub = (v >> (exp - SUB_BITS)) as usize - SUB_BUCKETS;
+    (exp - SUB_BITS + 1) as usize * SUB_BUCKETS + sub
+}
+
+/// The *inclusive* value range `[lo, hi]` bucket `i` covers (inclusive
+/// so the top bucket's bound doesn't overflow `u64`).
+fn bucket_range(i: usize) -> (u64, u64) {
+    let block = i / SUB_BUCKETS;
+    let sub = (i % SUB_BUCKETS) as u64;
+    if block == 0 {
+        return (sub, sub);
+    }
+    let width = 1u64 << (block - 1);
+    let lo = (SUB_BUCKETS as u64 + sub) << (block - 1);
+    (lo, lo + (width - 1))
+}
+
+/// A fixed-size log-bucketed histogram of `u64` samples (nanoseconds,
+/// by convention).
+pub struct Histogram {
+    counts: Box<[u64; N_BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { counts: Box::new([0; N_BUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (exact, not quantized).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded samples (exact sum, not
+    /// quantized; 0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at percentile `p` (0 < p <= 100): the upper bound of
+    /// the bucket containing the `ceil(p/100 * count)`-th smallest
+    /// sample, clamped to the exact observed maximum. 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_range(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(lo, hi, count)` inclusive value
+    /// ranges, in ascending order — the compact wire form for reports.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| {
+            let (lo, hi) = bucket_range(i);
+            (lo, hi, c)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_the_value_range() {
+        // Every index inverts to a range containing exactly the values
+        // that map back to it; consecutive buckets are contiguous.
+        let mut expect_lo = 0u64;
+        for i in 0..N_BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(lo, expect_lo, "bucket {i} not contiguous");
+            assert!(hi >= lo);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            expect_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expect_lo, 0, "buckets end exactly at u64::MAX");
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_range(N_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        for v in 0..SUB_BUCKETS as u64 {
+            let p = (v + 1) as f64 * 100.0 / SUB_BUCKETS as f64;
+            assert_eq!(h.percentile(p), v, "p{p}");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn percentiles_within_relative_error() {
+        // Pseudo-random samples over five decades: every percentile
+        // must sit within the bucketing's ~3% relative error of the
+        // exact order statistic (and never below it — upper bounds).
+        let mut h = Histogram::new();
+        let mut samples = Vec::new();
+        let mut x = 0x12345u64;
+        for _ in 0..100_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = 100 + x % 10_000_000;
+            h.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let idx = ((p / 100.0) * samples.len() as f64).ceil() as usize - 1;
+            let exact = samples[idx];
+            let got = h.percentile(p);
+            assert!(got >= exact, "p{p}: {got} under-reports exact {exact}");
+            let rel = (got - exact) as f64 / exact as f64;
+            assert!(rel <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "p{p}: rel err {rel}");
+        }
+        assert_eq!(h.count(), 100_000);
+        let mean_exact = samples.iter().map(|&v| v as u128).sum::<u128>() as f64 / 1e5;
+        assert!((h.mean() - mean_exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [0u64, 1, 31, 32, 1000, 123_456_789, u64::MAX] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [5u64, 7_000_000, 42] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for p in [1.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(p), all.percentile(p));
+        }
+        let merged: Vec<_> = a.nonzero_buckets().collect();
+        let direct: Vec<_> = all.nonzero_buckets().collect();
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+}

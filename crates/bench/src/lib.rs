@@ -27,6 +27,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod hist;
+pub mod openloop;
 pub mod report;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -99,6 +101,12 @@ pub struct RunConfig {
     /// hot path for A/B comparison; `fig9a_apt` and the log-based
     /// flavors ignore the knob (see BENCHMARKS.md).
     pub tlab: bool,
+    /// Offered load override for `fig14_latency`, requests/second
+    /// (`LOAD_RPS`; 0 = sweep the experiment's default loads).
+    pub load_rps: u64,
+    /// Connection-count override for `fig14_latency` (`CONNS`; 0 = sweep
+    /// the experiment's default connection counts).
+    pub conns: u64,
 }
 
 impl RunConfig {
@@ -119,6 +127,8 @@ impl RunConfig {
             dist: env_dist(),
             value: env_value_dist(),
             tlab: env_u64("TLAB", 1) == 1,
+            load_rps: env_u64("LOAD_RPS", 0),
+            conns: env_u64("CONNS", 0).clamp(0, 256),
         }
     }
 
@@ -150,6 +160,8 @@ impl RunConfig {
             dist: KeyDist::Uniform,
             value: ValueDist::PAPER,
             tlab: true,
+            load_rps: 0,
+            conns: 0,
         }
     }
 
@@ -190,6 +202,8 @@ impl RunConfig {
             ("DIST".into(), self.dist.label()),
             ("VAL_DIST".into(), self.value.label()),
             ("TLAB".into(), (self.tlab as u64).to_string()),
+            ("LOAD_RPS".into(), self.load_rps.to_string()),
+            ("CONNS".into(), self.conns.to_string()),
         ]
     }
 }

@@ -1,0 +1,264 @@
+//! Open-loop (Poisson-arrival) memcached client — the
+//! coordinated-omission-free load generator behind `fig14_latency`.
+//!
+//! A *closed-loop* driver (like [`nvmemcached::memtier::run_threads`])
+//! only issues a request after the previous one returns, so whenever
+//! the server stalls the driver politely stops offering load — the
+//! stall shows up as slightly lower throughput instead of as the
+//! thousands of delayed requests a real client population would have
+//! experienced. That is coordinated omission, and it can hide
+//! multi-millisecond tail pauses entirely.
+//!
+//! This driver is open-loop in the wrk2 style:
+//!
+//! * each connection draws a Poisson arrival schedule (exponential
+//!   inter-arrival gaps at its share of the offered rate) **anchored
+//!   once** at the run start and never re-anchored;
+//! * every latency sample is measured from the request's *scheduled*
+//!   send time, not the actual write: if the connection falls behind
+//!   (server stall, queueing), the wait is charged to every request
+//!   that should already have been sent;
+//! * samples land in a log-bucketed [`Histogram`], so p50/p99/p999
+//!   come out with bounded relative error and no raw-sample storage.
+//!
+//! One connection keeps at most one request outstanding (pipelining
+//! would batch server work and blur per-request latency); offered load
+//! scales by adding connections, exactly like a memtier/wrk2 rig.
+//! Request content comes from the same [`Workload`] engine as every
+//! in-process experiment, so wire and in-process rows are comparable.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use nvmemcached::memtier::{Request, RequestStream, Workload};
+use workload::Xorshift;
+
+use crate::hist::Histogram;
+
+/// One open-loop run's parameters.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent connections (each on its own thread).
+    pub connections: usize,
+    /// Total offered load, requests/second, split evenly across
+    /// connections.
+    pub offered_rps: f64,
+    /// Length of the arrival schedule. The run drains every scheduled
+    /// request, so wall-clock time exceeds this when the server cannot
+    /// keep up — that excess *is* the queueing signal.
+    pub duration: Duration,
+    /// Request generator (key range, distribution, set:get mix, seed).
+    pub workload: Workload,
+    /// Arrival-schedule seed (decorrelated from the workload's own
+    /// request stream).
+    pub seed: u64,
+}
+
+/// Merged outcome of an open-loop run.
+#[derive(Debug)]
+pub struct OpenLoopResult {
+    /// The configured offered load, requests/second.
+    pub offered_rps: f64,
+    /// Requests actually sent (the full schedule).
+    pub sent: u64,
+    /// Longest per-connection wall-clock time from anchor to last
+    /// response.
+    pub elapsed: Duration,
+    /// `set` requests sent.
+    pub sets: u64,
+    /// `get` requests that found their key.
+    pub hits: u64,
+    /// `get` requests that missed.
+    pub misses: u64,
+    /// Latency from *scheduled* send to response completion, ns.
+    pub latency: Histogram,
+}
+
+impl OpenLoopResult {
+    /// Requests per second actually completed (0.0 when empty — never
+    /// NaN).
+    pub fn achieved_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if self.sent == 0 || secs <= 0.0 {
+            return 0.0;
+        }
+        self.sent as f64 / secs
+    }
+
+    /// Fraction of `get`s that hit (0.0 when no gets — never NaN).
+    pub fn hit_rate(&self) -> f64 {
+        let gets = self.hits + self.misses;
+        if gets == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / gets as f64
+    }
+}
+
+/// Per-connection tallies, merged by [`run_open_loop`].
+struct ConnResult {
+    sent: u64,
+    sets: u64,
+    hits: u64,
+    misses: u64,
+    elapsed: Duration,
+    latency: Histogram,
+}
+
+/// Runs the full open-loop schedule and merges every connection's
+/// histogram. Fails on the first transport error (a latency experiment
+/// with silently dropped connections would be measuring a different
+/// offered load than it reports).
+pub fn run_open_loop(cfg: &OpenLoopConfig) -> std::io::Result<OpenLoopResult> {
+    let conns = cfg.connections.max(1);
+    let per_conn_rate = (cfg.offered_rps / conns as f64).max(1e-9);
+    let per_conn_n = (per_conn_rate * cfg.duration.as_secs_f64()).ceil().max(1.0) as u64;
+    let barrier = Barrier::new(conns);
+
+    let results: Vec<std::io::Result<ConnResult>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    // Connect before the barrier so the schedule anchor
+                    // excludes TCP setup.
+                    let stream = TcpStream::connect(cfg.addr)?;
+                    stream.set_nodelay(true)?;
+                    barrier.wait();
+                    drive_connection(cfg, stream, c, per_conn_rate, per_conn_n)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("open-loop connection panicked")).collect()
+    });
+
+    let mut out = OpenLoopResult {
+        offered_rps: cfg.offered_rps,
+        sent: 0,
+        elapsed: Duration::ZERO,
+        sets: 0,
+        hits: 0,
+        misses: 0,
+        latency: Histogram::new(),
+    };
+    for r in results {
+        let r = r?;
+        out.sent += r.sent;
+        out.sets += r.sets;
+        out.hits += r.hits;
+        out.misses += r.misses;
+        out.elapsed = out.elapsed.max(r.elapsed);
+        out.latency.merge(&r.latency);
+    }
+    Ok(out)
+}
+
+/// Sends `n` requests on one connection at Poisson arrivals of `rate`
+/// req/s, one outstanding at a time, recording scheduled-send latency.
+fn drive_connection(
+    cfg: &OpenLoopConfig,
+    stream: TcpStream,
+    conn: usize,
+    rate: f64,
+    n: u64,
+) -> std::io::Result<ConnResult> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut requests = RequestStream::new(&cfg.workload, conn);
+    // The arrival process must not perturb (or replay) the request
+    // stream, so it draws from its own decorrelated rng.
+    let mut arrivals = Xorshift::for_thread(cfg.seed ^ 0x6f70_656e_6c6f_6f70, conn);
+
+    let mut r = ConnResult {
+        sent: 0,
+        sets: 0,
+        hits: 0,
+        misses: 0,
+        elapsed: Duration::ZERO,
+        latency: Histogram::new(),
+    };
+    let mut line = String::new();
+    let mut req_buf = Vec::with_capacity(64);
+    let anchor = Instant::now();
+    let mut offset = Duration::ZERO;
+    for _ in 0..n {
+        // Exponential gap: -ln(1 - u) / rate. `unit()` is in [0, 1),
+        // so the log argument is in (0, 1] and the gap is finite.
+        let gap = -(1.0 - arrivals.unit()).ln() / rate;
+        offset += Duration::from_secs_f64(gap);
+        let scheduled = anchor + offset;
+        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+
+        let req = requests.next().expect("infinite stream");
+        req_buf.clear();
+        match req {
+            Request::Set(key, value) => {
+                let data = value.to_string();
+                write!(req_buf, "set {key} 0 0 {}\r\n{data}\r\n", data.len())?;
+            }
+            Request::Get(key) => write!(req_buf, "get {key}\r\n")?,
+        }
+        writer.write_all(&req_buf)?;
+
+        match req {
+            Request::Set(..) => {
+                read_crlf_line(&mut reader, &mut line)?;
+                if line != "STORED" {
+                    return Err(proto_err(&line));
+                }
+                r.sets += 1;
+            }
+            Request::Get(..) => {
+                let mut hit = false;
+                loop {
+                    read_crlf_line(&mut reader, &mut line)?;
+                    if line == "END" {
+                        break;
+                    } else if line.starts_with("VALUE ") {
+                        hit = true;
+                        // The data block is a single digits-only line.
+                        read_crlf_line(&mut reader, &mut line)?;
+                    } else {
+                        return Err(proto_err(&line));
+                    }
+                }
+                if hit {
+                    r.hits += 1;
+                } else {
+                    r.misses += 1;
+                }
+            }
+        }
+        // Coordinated-omission-free: latency is measured from when the
+        // request was *scheduled*, so time spent stuck behind a slow
+        // response is charged to every request it delayed.
+        let lat = Instant::now().saturating_duration_since(scheduled);
+        r.latency.record(lat.as_nanos().min(u128::from(u64::MAX)) as u64);
+        r.sent += 1;
+    }
+    r.elapsed = anchor.elapsed();
+    Ok(r)
+}
+
+fn proto_err(line: &str) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, format!("unexpected server response {line:?}"))
+}
+
+/// Reads one `\r\n`-terminated line into `line` (terminator stripped).
+fn read_crlf_line(reader: &mut impl BufRead, line: &mut String) -> std::io::Result<()> {
+    line.clear();
+    if reader.read_line(line)? == 0 {
+        return Err(std::io::Error::new(ErrorKind::UnexpectedEof, "server closed mid-response"));
+    }
+    if !line.ends_with("\r\n") {
+        return Err(proto_err(line));
+    }
+    line.truncate(line.len() - 2);
+    Ok(())
+}

@@ -20,9 +20,16 @@ use std::fmt::Write as _;
 use nvalloc::AptStats;
 use pmem::FlushStats;
 
+use crate::hist::Histogram;
+
 /// Version stamp written into every `BENCH_results.json`. Bump when the
 /// schema changes shape (documented in BENCHMARKS.md).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 (fig14): measurements may carry a `latency` object —
+/// coordinated-omission-free percentiles plus the non-empty histogram
+/// buckets. Baseline comparisons across schema versions are refused
+/// (see [`schema_version`] and `bench_all --baseline`).
+pub const SCHEMA_VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------------
 // JSON value type: writer + parser
@@ -422,6 +429,80 @@ fn utf8_len(lead: u8) -> usize {
 // Report model
 // ---------------------------------------------------------------------------
 
+/// Latency distribution of one measurement, summarized from a
+/// log-bucketed [`Histogram`] (schema v2, `fig14_latency`).
+///
+/// Percentiles are bucket upper bounds (never under-reported, ≤ ~3%
+/// relative error); `buckets` holds the non-empty `[lo, hi, count]`
+/// inclusive ranges so the full distribution can be re-plotted from the
+/// JSON without storing raw samples.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact smallest sample, ns.
+    pub min_ns: u64,
+    /// Exact arithmetic mean, ns.
+    pub mean_ns: f64,
+    /// Exact largest sample, ns.
+    pub max_ns: u64,
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 90th percentile, ns.
+    pub p90_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// 99.9th percentile, ns.
+    pub p999_ns: u64,
+    /// Non-empty histogram buckets as inclusive `(lo, hi, count)`.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram (by convention: nanosecond samples).
+    pub fn from_histogram(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            min_ns: h.min(),
+            mean_ns: h.mean(),
+            max_ns: h.max(),
+            p50_ns: h.percentile(50.0),
+            p90_ns: h.percentile(90.0),
+            p99_ns: h.percentile(99.0),
+            p999_ns: h.percentile(99.9),
+            buckets: h.nonzero_buckets().collect(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::Num(self.count as f64)),
+            ("min_ns".into(), Json::Num(self.min_ns as f64)),
+            ("mean_ns".into(), Json::Num(self.mean_ns)),
+            ("max_ns".into(), Json::Num(self.max_ns as f64)),
+            ("p50_ns".into(), Json::Num(self.p50_ns as f64)),
+            ("p90_ns".into(), Json::Num(self.p90_ns as f64)),
+            ("p99_ns".into(), Json::Num(self.p99_ns as f64)),
+            ("p999_ns".into(), Json::Num(self.p999_ns as f64)),
+            (
+                "buckets".into(),
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(lo, hi, c)| {
+                            Json::Arr(vec![
+                                Json::Num(lo as f64),
+                                Json::Num(hi as f64),
+                                Json::Num(c as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// One measured configuration of one experiment: a row of a paper figure.
 ///
 /// Only `label` is mandatory; every other field is present when the
@@ -459,6 +540,9 @@ pub struct Measurement {
     pub paper_ratio: Option<f64>,
     /// Durable-write traffic of the subject system's median repetition.
     pub flush: Option<FlushStats>,
+    /// Coordinated-omission-free latency distribution, when the row was
+    /// measured open-loop over real sockets (`fig14_latency`; schema v2).
+    pub latency: Option<LatencySummary>,
     /// Experiment-specific scalars (APT hit rates, recovery times, cache
     /// hit rates, …), serialized as a `metrics` object.
     pub metrics: Vec<(String, f64)>,
@@ -522,6 +606,9 @@ impl Measurement {
                     ("sync_batches".into(), Json::Num(f.sync_batches as f64)),
                 ]),
             ));
+        }
+        if let Some(lat) = &self.latency {
+            m.push(("latency".into(), lat.to_json()));
         }
         if !self.metrics.is_empty() {
             m.push((
@@ -689,6 +776,16 @@ pub fn render_text(report: &ExperimentReport) -> String {
         } else if let Some(t) = m.median_throughput {
             let _ = write!(out, " {t:>14.0} ops/s");
         }
+        if let Some(lat) = &m.latency {
+            let _ = write!(
+                out,
+                "  p50={}us p99={}us p999={}us max={}us",
+                lat.p50_ns / 1_000,
+                lat.p99_ns / 1_000,
+                lat.p999_ns / 1_000,
+                lat.max_ns / 1_000
+            );
+        }
         for (k, v) in &m.metrics {
             let _ = write!(out, "  {k}={v:.4}");
         }
@@ -747,6 +844,18 @@ fn median_map(doc: &Json) -> Vec<((String, String), f64)> {
         }
     }
     out
+}
+
+/// The `schema_version` stamp of a parsed `BENCH_results.json`
+/// document, when present and integral.
+///
+/// Comparing documents of different schema versions is meaningless —
+/// labels, units, or row semantics may have changed shape — so
+/// `bench_all --baseline` refuses the comparison outright (exit 2)
+/// instead of silently joining whatever rows happen to share a label.
+pub fn schema_version(doc: &Json) -> Option<u64> {
+    let v = doc.get("schema_version")?.as_f64()?;
+    (v.fract() == 0.0 && v >= 0.0).then_some(v as u64)
 }
 
 /// How many of `current`'s throughput rows have a matching

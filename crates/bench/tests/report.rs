@@ -3,7 +3,9 @@
 //! `bench_all`-style baseline regression detection against a synthetic
 //! slow baseline.
 
-use bench::report::{compare, render_text, BenchResults, ExperimentReport, Json, Measurement};
+use bench::report::{
+    compare, render_text, BenchResults, ExperimentReport, Json, Measurement, SCHEMA_VERSION,
+};
 use bench::{experiments, RunConfig};
 
 // ---------------------------------------------------------------------------
@@ -98,7 +100,7 @@ fn fig5_report_has_the_documented_schema_shape() {
     let text = results.to_json().render_pretty();
     let doc = Json::parse(&text).expect("emitted document parses");
 
-    assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_f64), Some(SCHEMA_VERSION as f64));
     assert!(doc.get("git_rev").and_then(Json::as_str).is_some());
     let knobs = doc.get("knobs").expect("knobs object");
     assert_eq!(knobs.get("SMOKE").and_then(Json::as_str), Some("1"));

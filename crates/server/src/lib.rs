@@ -1,0 +1,47 @@
+//! **NV-Memcached over the wire**: a memcached ASCII-protocol TCP
+//! front-end for [`nvmemcached::sharded::ShardedNvMemcached`].
+//!
+//! Until this crate, the paper's Memcached comparison (§6.5) ran
+//! *in-process* — the `nvmemcached::memtier` harness calls the cache as
+//! a library, which measures the data structures but not the system: no
+//! kernel socket path, no request parsing, no response serialization,
+//! and (because the driver is closed-loop) no view of queueing delay at
+//! all. This crate supplies the missing front-end; the open-loop client
+//! in `bench` supplies the missing measurement.
+//!
+//! Three layers, each testable without the one below:
+//!
+//! * [`protocol`] — an incremental parser for the memcached ASCII
+//!   dialect (pure bytes-in/commands-out; tolerates arbitrary
+//!   fragmentation and pipelining).
+//! * [`session`] — one connection's command execution against the
+//!   shared cache, batching responses per input burst.
+//! * [`net`] — the TCP server: a thread-per-core accept loop sized to
+//!   the shard topology, and a graceful shutdown that quiesces every
+//!   shard pool before handing the cache back.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use pmem::{Mode, PoolBuilder};
+//! use nvmemcached::sharded::ShardedNvMemcached;
+//! use server::Server;
+//!
+//! let pools: Vec<_> =
+//!     (0..4).map(|_| PoolBuilder::new(64 << 20).mode(Mode::CrashSim).build()).collect();
+//! let cache = Arc::new(ShardedNvMemcached::create(&pools, 4096, 100_000, true).unwrap());
+//! let server = Server::start_local(Arc::clone(&cache)).unwrap();
+//! println!("serving on {}", server.local_addr());
+//! // ... drive memcached clients at it ...
+//! let cache = server.shutdown(); // quiesced: pools are now safe to drop
+//! # drop(cache);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod net;
+pub mod protocol;
+pub mod session;
+
+pub use net::{Server, ServerConfig};
+pub use protocol::{Command, Parser};
+pub use session::Session;

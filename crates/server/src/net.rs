@@ -1,0 +1,182 @@
+//! The TCP front-end: a thread-per-core accept loop over a shared
+//! listener, one [`Session`] per connection, and a graceful shutdown
+//! that quiesces the cache before the pools can be dropped.
+//!
+//! # Threading model
+//!
+//! `N` worker threads (default: one per shard, the "pinned to the shard
+//! topology" setting — shards are the unit of parallelism everywhere
+//! else in the system) each block in `accept` on a clone of one shared
+//! listener; the kernel load-balances incoming connections across them.
+//! A worker serves its accepted connection to completion, then returns
+//! to `accept`. Each connection gets its own [`Session`] (and therefore
+//! its own per-shard [`nvalloc::ThreadCtx`]s, created on the serving
+//! thread), so the data path is identical to the in-process harness:
+//! no cross-connection locks, no shared parser state.
+//!
+//! One worker serves one connection at a time — callers expecting `C`
+//! concurrent connections should size [`ServerConfig::workers`] to at
+//! least `C` (the open-loop client does).
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`] flips a flag, then wakes every accept-blocked
+//! worker with a throwaway loopback connection. Workers serving live
+//! connections notice the flag through their read timeout, flush any
+//! batched output and close. Once every worker has joined (dropping its
+//! session flushes the per-shard request tallies), the cache is
+//! [quiesced](ShardedNvMemcached::quiesce) — a durability barrier over
+//! every shard pool — before the `Arc` is handed back, so a caller that
+//! immediately drops (or crash-captures) the pools observes a clean
+//! durable image.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use nvmemcached::sharded::ShardedNvMemcached;
+
+use crate::session::Session;
+
+/// Tuning for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (use port 0 for an ephemeral port; read the
+    /// actual one back from [`Server::local_addr`]).
+    pub addr: SocketAddr,
+    /// Accept/serve threads. `None` pins one worker per shard.
+    pub workers: Option<usize>,
+    /// Read timeout through which serving workers poll the shutdown
+    /// flag. Bounds shutdown latency, not request latency.
+    pub poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            workers: None,
+            poll: Duration::from_millis(20),
+        }
+    }
+}
+
+/// A running server: join handles plus the shared shutdown flag.
+pub struct Server {
+    cache: Arc<ShardedNvMemcached>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving `cache` with the default config on an
+    /// ephemeral loopback port.
+    pub fn start_local(cache: Arc<ShardedNvMemcached>) -> std::io::Result<Server> {
+        Self::start(cache, ServerConfig::default())
+    }
+
+    /// Binds `cfg.addr` and spawns the worker threads.
+    pub fn start(cache: Arc<ShardedNvMemcached>, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let n_workers = cfg.workers.unwrap_or_else(|| cache.n_shards()).max(1);
+        let mut workers = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let listener = listener.try_clone()?;
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            let poll = cfg.poll;
+            workers.push(std::thread::spawn(move || worker_loop(&listener, &cache, &stop, poll)));
+        }
+        Ok(Server { cache, addr, stop, workers })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain the workers, quiesce
+    /// the cache (durability barrier over every shard pool), and hand
+    /// the cache back for post-shutdown use (snapshotting, recovery
+    /// drills, pool teardown).
+    pub fn shutdown(self) -> Arc<ShardedNvMemcached> {
+        self.stop.store(true, Ordering::SeqCst);
+        // One throwaway connection per worker: a worker blocked in
+        // accept wakes, sees the flag, and exits without serving.
+        // Workers mid-connection exit through their read timeout and
+        // never consume a wakeup; surplus wakeups die with the
+        // listener clones when the workers join.
+        for _ in &self.workers {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.cache.quiesce();
+        self.cache
+    }
+}
+
+fn worker_loop(
+    listener: &TcpListener,
+    cache: &ShardedNvMemcached,
+    stop: &AtomicBool,
+    poll: Duration,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                serve(stream, cache, stop, poll);
+            }
+            // Transient accept errors (e.g. the peer reset before the
+            // handshake finished) don't take the worker down.
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Serves one connection to completion: read, execute the batch, flush
+/// the batch in one write.
+fn serve(stream: TcpStream, cache: &ShardedNvMemcached, stop: &AtomicBool, poll: Duration) {
+    let mut stream = stream;
+    if stream.set_read_timeout(Some(poll)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let mut session = Session::new(cache);
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                let keep_open = session.input(&buf[..n]);
+                if !session.output().is_empty() {
+                    if stream.write_all(session.output()).is_err() {
+                        return;
+                    }
+                    session.clear_output();
+                }
+                if !keep_open {
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}

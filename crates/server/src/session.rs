@@ -1,0 +1,150 @@
+//! One client connection's request/response state machine, decoupled
+//! from the transport.
+//!
+//! A [`Session`] owns a [`Parser`], a per-connection [`ShardedCtx`] and
+//! a write-batch buffer: the server (or a test) pushes whatever bytes
+//! the transport produced through [`Session::input`], and every
+//! complete pipelined command in them is executed immediately, its
+//! response appended to the batch. The transport then flushes
+//! [`Session::output`] with a single write — per-connection write
+//! batching falls out of the structure instead of needing a timer.
+//!
+//! Because the session is transport-free, the proptest suite can drive
+//! it directly: the same byte stream, however fragmented, must produce
+//! byte-identical output.
+
+use std::io::Write;
+
+use nvmemcached::sharded::{ShardedCtx, ShardedNvMemcached};
+
+use crate::protocol::{Command, Fatal, Parser};
+
+/// A connection's protocol state bound to the shared cache.
+pub struct Session<'a> {
+    cache: &'a ShardedNvMemcached,
+    ctx: ShardedCtx,
+    parser: Parser,
+    out: Vec<u8>,
+    open: bool,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session: registers the calling thread with every shard.
+    pub fn new(cache: &'a ShardedNvMemcached) -> Self {
+        Self { cache, ctx: cache.register(), parser: Parser::new(), out: Vec::new(), open: true }
+    }
+
+    /// Feeds transport bytes, executing every complete command and
+    /// appending the batched responses to [`Session::output`]. Returns
+    /// `false` once the connection should be closed after flushing the
+    /// output (`quit`, or an unrecoverable protocol error).
+    pub fn input(&mut self, bytes: &[u8]) -> bool {
+        if !self.open {
+            return false;
+        }
+        self.parser.feed(bytes);
+        loop {
+            match self.parser.next_command() {
+                Ok(Some(cmd)) => {
+                    if !self.exec(cmd) {
+                        self.open = false;
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(Fatal(line)) => {
+                    self.line(line);
+                    self.open = false;
+                    break;
+                }
+            }
+        }
+        self.open
+    }
+
+    /// The accumulated response batch (flush with one write, then
+    /// [`Session::clear_output`]).
+    pub fn output(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Discards the flushed batch.
+    pub fn clear_output(&mut self) {
+        self.out.clear();
+    }
+
+    /// Whether the connection is still open.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    fn line(&mut self, s: &str) {
+        self.out.extend_from_slice(s.as_bytes());
+        self.out.extend_from_slice(b"\r\n");
+    }
+
+    /// Executes one command; `false` means close after flushing.
+    fn exec(&mut self, cmd: Command) -> bool {
+        match cmd {
+            Command::Set { key, value, noreply } => {
+                let r = self.cache.set(&mut self.ctx, key, value);
+                if !noreply {
+                    match r {
+                        Ok(()) => self.line("STORED"),
+                        Err(_) => self.line("SERVER_ERROR out of memory storing object"),
+                    }
+                }
+            }
+            Command::Add { key, value, noreply } => {
+                let r = self.cache.add(&mut self.ctx, key, value);
+                if !noreply {
+                    match r {
+                        Ok(true) => self.line("STORED"),
+                        Ok(false) => self.line("NOT_STORED"),
+                        Err(_) => self.line("SERVER_ERROR out of memory storing object"),
+                    }
+                }
+            }
+            Command::Replace { key, value, noreply } => {
+                let r = self.cache.replace(&mut self.ctx, key, value);
+                if !noreply {
+                    match r {
+                        Ok(true) => self.line("STORED"),
+                        Ok(false) => self.line("NOT_STORED"),
+                        Err(_) => self.line("SERVER_ERROR out of memory storing object"),
+                    }
+                }
+            }
+            Command::Get { keys } => {
+                for key in keys {
+                    if let Some(value) = self.cache.get(&mut self.ctx, key) {
+                        let data = value.to_string();
+                        let _ = write!(self.out, "VALUE {key} 0 {}\r\n{data}\r\n", data.len());
+                    }
+                }
+                self.line("END");
+            }
+            Command::Delete { key, noreply } => {
+                let hit = self.cache.delete(&mut self.ctx, key).is_some();
+                if !noreply {
+                    self.line(if hit { "DELETED" } else { "NOT_FOUND" });
+                }
+            }
+            Command::Stats => {
+                self.line(&format!("STAT shards {}", self.cache.n_shards()));
+                self.line(&format!("STAT curr_items {}", self.cache.len()));
+                self.line("END");
+            }
+            Command::Version => {
+                self.line(concat!("VERSION nvram-logfree/", env!("CARGO_PKG_VERSION")));
+            }
+            Command::Quit => return false,
+            Command::Bad { line, noreply } => {
+                if !noreply {
+                    self.line(line);
+                }
+            }
+        }
+        true
+    }
+}

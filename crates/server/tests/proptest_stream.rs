@@ -1,0 +1,112 @@
+//! Property test: the session's responses are a function of the
+//! *cumulative* byte stream, never of how the transport fragmented it.
+//!
+//! Real TCP delivers a pipelined burst in arbitrary pieces — a command
+//! line split mid-token, a data block split from its `\r\n`, ten
+//! commands in one segment. The parser promises all of those are
+//! invisible; this test pins the promise by generating random command
+//! sequences (valid *and* malformed, including framing-fatal ones),
+//! feeding them whole to one session and in random fragments to
+//! another over identically-created caches, and asserting the byte
+//! output, open/closed state, and resulting cache contents all match.
+
+use nvmemcached::sharded::ShardedNvMemcached;
+use pmem::{LatencyModel, Mode, PoolBuilder};
+use proptest::prelude::*;
+use server::Session;
+
+fn cache() -> ShardedNvMemcached {
+    let pools: Vec<_> = (0..2)
+        .map(|_| {
+            PoolBuilder::new(16 << 20).mode(Mode::CrashSim).latency(LatencyModel::ZERO).build()
+        })
+        .collect();
+    ShardedNvMemcached::create(&pools, 256, 10_000, true).expect("pool sized")
+}
+
+/// One syntactic unit of client traffic, picked by `sel`. Weighted (by
+/// selector range) toward valid store/retrieve traffic, with a tail of
+/// malformed-but-recoverable lines and framing-fatal chunks (bad data
+/// block, short data block that absorbs whatever bytes follow, `quit`).
+fn render_chunk(sel: u8, k: u64, v: u64, nr: bool, alt: bool) -> Vec<u8> {
+    let key = k % 63 + 1;
+    let noreply = if nr { " noreply" } else { "" };
+    let data = v.to_string();
+    match sel % 16 {
+        // Valid stores (5/16).
+        0..=4 => format!("set {key} 0 0 {}{noreply}\r\n{data}\r\n", data.len()).into_bytes(),
+        5 | 6 => {
+            let verb = if alt { "add" } else { "replace" };
+            format!("{verb} {key} 0 0 {}{noreply}\r\n{data}\r\n", data.len()).into_bytes()
+        }
+        // Retrievals (3/16), single- and multi-key.
+        7 | 8 => format!("get {key}\r\n").into_bytes(),
+        9 => format!("gets {key} {} {}\r\n", v % 63 + 1, key ^ 1 | 1).into_bytes(),
+        10 | 11 => format!("delete {key}{noreply}\r\n").into_bytes(),
+        12 => (if alt { &b"stats\r\n"[..] } else { &b"version\r\n"[..] }).to_vec(),
+        // Malformed, framing intact: the session answers an error line
+        // (or swallows it under noreply) and keeps going.
+        13 | 14 => match v % 6 {
+            0 => b"bogus\r\n".to_vec(),
+            1 => b"\r\n".to_vec(),
+            2 => b"get\r\n".to_vec(),
+            3 => b"set 1 0 0\r\n".to_vec(),
+            // Bad key on a well-formed store: the data block is
+            // swallowed, the error deferred past it.
+            4 => format!("set 0 0 0 {}\r\n{data}\r\n", data.len()).into_bytes(),
+            _ => format!("set abc 0 0 {} noreply\r\n{data}\r\n", data.len()).into_bytes(),
+        },
+        // Framing lost (or deliberate close): everything after this
+        // chunk — however it was fragmented — must be ignored
+        // identically by both sessions.
+        _ => match v % 3 {
+            0 => b"set 1 0 0 2\r\n123456\r\n".to_vec(),
+            // Declares 9 data bytes but supplies 2: the block absorbs
+            // the following chunk's bytes, wherever the split fell.
+            1 => b"set 2 0 0 9\r\n42\r\n".to_vec(),
+            _ => b"quit\r\n".to_vec(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fragmentation_never_changes_responses(
+        chunks in proptest::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>()),
+            1..12,
+        ),
+        cuts in proptest::collection::vec(any::<usize>(), 0..10),
+    ) {
+        let stream: Vec<u8> = chunks
+            .iter()
+            .flat_map(|&(sel, k, v, nr, alt)| render_chunk(sel, k, v, nr, alt))
+            .collect();
+
+        // Reference: the whole pipelined burst in one read.
+        let cache_whole = cache();
+        let mut whole = Session::new(&cache_whole);
+        whole.input(&stream);
+
+        // Same bytes, arbitrary fragmentation (duplicate and boundary
+        // cut points collapse to empty fragments, which are skipped).
+        let cache_frag = cache();
+        let mut frag = Session::new(&cache_frag);
+        let mut pos: Vec<usize> = cuts.iter().map(|&c| c % (stream.len() + 1)).collect();
+        pos.push(stream.len());
+        pos.sort_unstable();
+        let mut prev = 0;
+        for p in pos {
+            if p > prev {
+                frag.input(&stream[prev..p]);
+                prev = p;
+            }
+        }
+
+        prop_assert_eq!(whole.output(), frag.output(), "responses diverged");
+        prop_assert_eq!(whole.is_open(), frag.is_open(), "open/closed state diverged");
+        prop_assert_eq!(cache_whole.len(), cache_frag.len(), "cache contents diverged");
+    }
+}

@@ -1,0 +1,171 @@
+//! End-to-end socket tests: a real client speaking the ASCII protocol
+//! to a real server over loopback TCP.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use nvmemcached::sharded::ShardedNvMemcached;
+use pmem::{LatencyModel, Mode, PoolBuilder};
+use server::{Server, ServerConfig};
+
+fn cache(shards: usize) -> Arc<ShardedNvMemcached> {
+    let pools: Vec<_> = (0..shards)
+        .map(|_| {
+            PoolBuilder::new(16 << 20).mode(Mode::CrashSim).latency(LatencyModel::ZERO).build()
+        })
+        .collect();
+    Arc::new(ShardedNvMemcached::create(&pools, 1024, 10_000, true).expect("pool sized"))
+}
+
+/// Reads one `\r\n`-terminated line (without the terminator).
+fn read_line(r: &mut impl BufRead) -> String {
+    let mut s = String::new();
+    r.read_line(&mut s).expect("line");
+    assert!(s.ends_with("\r\n"), "unterminated line {s:?}");
+    s.truncate(s.len() - 2);
+    s
+}
+
+#[test]
+fn set_get_delete_round_trip() {
+    let server = Server::start_local(cache(4)).expect("bind loopback");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut w = stream;
+
+    w.write_all(b"set 42 0 0 5\r\n31337\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "STORED");
+
+    w.write_all(b"get 42 43\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "VALUE 42 0 5");
+    assert_eq!(read_line(&mut reader), "31337");
+    assert_eq!(read_line(&mut reader), "END");
+
+    w.write_all(b"add 42 0 0 1\r\n9\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "NOT_STORED");
+    w.write_all(b"replace 42 0 0 1\r\n9\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "STORED");
+
+    w.write_all(b"delete 42\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "DELETED");
+    w.write_all(b"delete 42\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "NOT_FOUND");
+
+    w.write_all(b"get 42\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "END");
+
+    let cache = server.shutdown();
+    assert!(cache.is_empty());
+}
+
+#[test]
+fn pipelined_burst_answers_in_order() {
+    let server = Server::start_local(cache(2)).expect("bind loopback");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut w = stream;
+
+    // One write, many commands: noreply sets interleaved with gets.
+    let mut burst = Vec::new();
+    for k in 1..=20u64 {
+        burst.extend_from_slice(
+            format!("set {k} 0 0 {} noreply\r\n{}\r\n", (k * 7).to_string().len(), k * 7)
+                .as_bytes(),
+        );
+    }
+    burst.extend_from_slice(b"get 5\r\nget 20\r\nquit\r\n");
+    w.write_all(&burst).unwrap();
+
+    assert_eq!(read_line(&mut reader), "VALUE 5 0 2");
+    assert_eq!(read_line(&mut reader), "35");
+    assert_eq!(read_line(&mut reader), "END");
+    assert_eq!(read_line(&mut reader), "VALUE 20 0 3");
+    assert_eq!(read_line(&mut reader), "140");
+    assert_eq!(read_line(&mut reader), "END");
+    // quit: server closes without a response.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("eof");
+    assert!(rest.is_empty(), "unexpected trailing bytes {rest:?}");
+
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_keep_or_close_the_connection_appropriately() {
+    let server = Server::start_local(cache(1)).expect("bind loopback");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut w = stream;
+
+    w.write_all(b"bogus\r\nget 1\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "ERROR");
+    assert_eq!(read_line(&mut reader), "END");
+
+    // Framing loss: error line, then EOF.
+    w.write_all(b"set 1 0 0 2\r\n12junk\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "CLIENT_ERROR bad data chunk");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("eof");
+    assert!(rest.is_empty());
+
+    // The server keeps accepting fresh connections afterwards.
+    let stream = TcpStream::connect(server.local_addr()).expect("reconnect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut w = stream;
+    w.write_all(b"version\r\n").unwrap();
+    assert!(read_line(&mut reader).starts_with("VERSION "));
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_connections_share_the_cache() {
+    let server =
+        Server::start(cache(4), ServerConfig { workers: Some(8), ..ServerConfig::default() })
+            .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..8u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut w = stream;
+                for i in 0..50u64 {
+                    let key = t * 1000 + i + 1;
+                    let val = key * 3;
+                    let data = val.to_string();
+                    w.write_all(format!("set {key} 0 0 {}\r\n{data}\r\n", data.len()).as_bytes())
+                        .unwrap();
+                    assert_eq!(read_line(&mut reader), "STORED");
+                    w.write_all(format!("get {key}\r\n").as_bytes()).unwrap();
+                    assert_eq!(read_line(&mut reader), format!("VALUE {key} 0 {}", data.len()));
+                    assert_eq!(read_line(&mut reader), data);
+                    assert_eq!(read_line(&mut reader), "END");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let cache = server.shutdown();
+    assert_eq!(cache.len(), 8 * 50);
+    // Tallies flushed by the dropped per-connection sessions.
+    assert_eq!(cache.shard_requests().iter().sum::<u64>(), 8 * 50 * 2);
+}
+
+#[test]
+fn stats_report_shard_topology() {
+    let server = Server::start_local(cache(3)).expect("bind loopback");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut w = stream;
+    w.write_all(b"stats\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "STAT shards 3");
+    assert_eq!(read_line(&mut reader), "STAT curr_items 0");
+    assert_eq!(read_line(&mut reader), "END");
+    server.shutdown();
+}

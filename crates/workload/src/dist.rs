@@ -10,6 +10,14 @@
 //!   O(1) after an O(n) sampler construction. Ranks are *not*
 //!   scrambled: the hot keys are the low keys, which keeps closed-form
 //!   frequency checks possible ([`KeySampler::expected_weights`]).
+//! * **ZipfianScrambled** — the YCSB "scrambled zipfian": the same
+//!   rank distribution, but each rank is hashed (splitmix64) into the
+//!   key space, so the hot keys are scattered uniformly instead of
+//!   being the low-key prefix. Plain `Zipfian` correlates its hot set
+//!   with the warmed-up `1..=range/2` prefix every cache stream
+//!   prefills, inflating hit-rate artifacts; the scrambled variant
+//!   breaks that correlation. Kept as a separate family (labelled
+//!   `zipf-scrambled-θ`) so existing `zipf-θ` rows stay bit-compatible.
 //! * **Hotspot** — N% of the key space receives M% of the accesses
 //!   (uniform within each side); the classic 10%/90% cache stress.
 //! * **Latest** — zipfian-skewed towards the most recently *written*
@@ -30,6 +38,13 @@ pub enum KeyDist {
         /// Skew exponent (YCSB default 0.99; higher = more skewed).
         theta: f64,
     },
+    /// Zipfian ranks hashed into the key space (YCSB scrambled
+    /// zipfian): the same skew, but the hot keys are scattered
+    /// uniformly over `[1, range]` instead of clustering at key 1.
+    ZipfianScrambled {
+        /// Skew exponent of the underlying rank distribution.
+        theta: f64,
+    },
     /// `hot_pct`% of the key space receives `access_pct`% of accesses.
     Hotspot {
         /// Percent of the key space that is hot (1..=100).
@@ -47,6 +62,8 @@ pub enum KeyDist {
 impl KeyDist {
     /// The paper-standard skewed settings, as swept by `fig13_skew`.
     pub const ZIPF_99: KeyDist = KeyDist::Zipfian { theta: 0.99 };
+    /// Scrambled zipfian at the YCSB default skew.
+    pub const ZIPF_SCRAMBLED_99: KeyDist = KeyDist::ZipfianScrambled { theta: 0.99 };
     /// 10% of the keys take 90% of the traffic.
     pub const HOTSPOT_10_90: KeyDist = KeyDist::Hotspot { hot_pct: 10, access_pct: 90 };
 
@@ -56,6 +73,7 @@ impl KeyDist {
         match *self {
             KeyDist::Uniform => "uniform".to_string(),
             KeyDist::Zipfian { theta } => format!("zipf-{theta}"),
+            KeyDist::ZipfianScrambled { theta } => format!("zipf-scrambled-{theta}"),
             KeyDist::Hotspot { hot_pct, access_pct } => format!("hotspot-{hot_pct}/{access_pct}"),
             KeyDist::Latest { theta } => format!("latest-{theta}"),
         }
@@ -66,6 +84,7 @@ impl KeyDist {
     ///
     /// * `uniform`
     /// * `zipf` (θ = 0.99) or `zipf-<theta>` with θ in (0, 1)
+    /// * `zipf-scrambled` (θ = 0.99) or `zipf-scrambled-<theta>`
     /// * `hotspot` (10/90) or `hotspot-<hot>/<access>` in percent
     /// * `latest` (θ = 0.99) or `latest-<theta>`
     pub fn parse(s: &str) -> Result<KeyDist, String> {
@@ -81,6 +100,10 @@ impl KeyDist {
         };
         if s == "uniform" {
             Ok(KeyDist::Uniform)
+        } else if let Some(rest) = strip_family(s, "zipf-scrambled") {
+            // Checked before the plain `zipf` family, whose prefix it
+            // shares.
+            Ok(KeyDist::ZipfianScrambled { theta: theta_of(rest)? })
         } else if let Some(rest) = strip_family(s, "zipf") {
             Ok(KeyDist::Zipfian { theta: theta_of(rest)? })
         } else if let Some(rest) = strip_family(s, "latest") {
@@ -101,7 +124,8 @@ impl KeyDist {
             Ok(KeyDist::Hotspot { hot_pct: hot, access_pct: access })
         } else {
             Err(format!(
-                "unknown distribution '{s}' (want uniform, zipf[-theta], hotspot[-N/M], latest[-theta])"
+                "unknown distribution '{s}' (want uniform, zipf[-theta], \
+                 zipf-scrambled[-theta], hotspot[-N/M], latest[-theta])"
             ))
         }
     }
@@ -180,7 +204,9 @@ impl KeySampler {
     pub fn new(dist: KeyDist, range: u64) -> Self {
         let range = range.max(1);
         let zipf = match dist {
-            KeyDist::Zipfian { theta } | KeyDist::Latest { theta } => Some(Zipf::new(range, theta)),
+            KeyDist::Zipfian { theta }
+            | KeyDist::ZipfianScrambled { theta }
+            | KeyDist::Latest { theta } => Some(Zipf::new(range, theta)),
             _ => None,
         };
         Self { dist, range, zipf }
@@ -216,6 +242,10 @@ impl KeySampler {
         match self.dist {
             KeyDist::Uniform => rng.key(self.range),
             KeyDist::Zipfian { .. } => self.zipf.expect("built with table").rank(rng.unit()) + 1,
+            KeyDist::ZipfianScrambled { .. } => {
+                let rank = self.zipf.expect("built with table").rank(rng.unit());
+                scramble_rank(rank, self.range)
+            }
             KeyDist::Hotspot { access_pct, .. } => {
                 let hot = self.hot_count().expect("hotspot");
                 if rng.bounded(100) < access_pct as u64 {
@@ -243,6 +273,16 @@ impl KeySampler {
             KeyDist::Uniform => 1.0 / self.range as f64,
             KeyDist::Zipfian { theta } => {
                 1.0 / (k as f64).powf(theta) / self.zipf.expect("table").zetan
+            }
+            KeyDist::ZipfianScrambled { theta } => {
+                // The hash has no closed-form inverse: walk every rank
+                // and sum the ones that land on `k`. O(range), matching
+                // the sampler's own O(range) zeta construction.
+                let zetan = self.zipf.expect("table").zetan;
+                (0..self.range)
+                    .filter(|&r| scramble_rank(r, self.range) == k)
+                    .map(|r| 1.0 / (r as f64 + 1.0).powf(theta) / zetan)
+                    .sum()
             }
             KeyDist::Hotspot { access_pct, .. } => {
                 let hot = self.hot_count().expect("hotspot");
@@ -317,8 +357,35 @@ impl KeySampler {
                 }
                 weights
             }
+            // Scrambled zipfian walks the *ranks* instead (the per-key
+            // pmf would be O(range) per key): each rank's mass lands in
+            // whatever bucket its hashed key falls into. Also O(range).
+            KeyDist::ZipfianScrambled { theta } => {
+                let zetan = self.zipf.expect("table").zetan;
+                let mut weights = vec![0.0f64; n_buckets];
+                for r in 0..self.range {
+                    let k = scramble_rank(r, self.range);
+                    weights[bucket_of(k, self.range, n_buckets)] +=
+                        1.0 / (r as f64 + 1.0).powf(theta) / zetan;
+                }
+                weights
+            }
         }
     }
+}
+
+/// The scrambled-zipfian rank→key map: one splitmix64 round over the
+/// rank (salted with the golden-ratio constant — `splitmix(0) == 0`, so
+/// the unsalted hash would pin rank 0, the hottest rank, to key 1 and
+/// defeat the scrambling), folded onto `[1, range]` with a bias-free
+/// multiply-shift. Distinct ranks may collide on one key; their masses
+/// simply add, and both `key_weight` and `expected_weights` walk the
+/// ranks so the closed-form checks see the same collisions the sampler
+/// produces.
+#[inline]
+fn scramble_rank(rank: u64, range: u64) -> u64 {
+    let h = crate::rng::splitmix(rank ^ crate::rng::GOLDEN);
+    ((h as u128 * range as u128) >> 64) as u64 + 1
 }
 
 /// The bucket index of key `k` (1-based; 0 is clamped to key 1 so the
@@ -348,6 +415,8 @@ mod tests {
             KeyDist::Uniform,
             KeyDist::ZIPF_99,
             KeyDist::Zipfian { theta: 0.5 },
+            KeyDist::ZIPF_SCRAMBLED_99,
+            KeyDist::ZipfianScrambled { theta: 0.6 },
             KeyDist::HOTSPOT_10_90,
             KeyDist::Hotspot { hot_pct: 5, access_pct: 95 },
             KeyDist::Latest { theta: 0.99 },
@@ -359,6 +428,8 @@ mod tests {
     #[test]
     fn parse_defaults_and_errors() {
         assert_eq!(KeyDist::parse("zipf"), Ok(KeyDist::ZIPF_99));
+        assert_eq!(KeyDist::parse("zipf-scrambled"), Ok(KeyDist::ZIPF_SCRAMBLED_99));
+        assert!(KeyDist::parse("zipf-scrambled-1.5").is_err(), "scrambled theta checked too");
         assert_eq!(KeyDist::parse("latest"), Ok(KeyDist::Latest { theta: 0.99 }));
         assert_eq!(KeyDist::parse("hotspot"), Ok(KeyDist::HOTSPOT_10_90));
         assert!(KeyDist::parse("zipf-1.5").is_err(), "theta >= 1 rejected");
@@ -374,6 +445,7 @@ mod tests {
         for dist in [
             KeyDist::Uniform,
             KeyDist::ZIPF_99,
+            KeyDist::ZIPF_SCRAMBLED_99,
             KeyDist::HOTSPOT_10_90,
             KeyDist::Latest { theta: 0.99 },
         ] {
@@ -392,6 +464,7 @@ mod tests {
         for dist in [
             KeyDist::Uniform,
             KeyDist::ZIPF_99,
+            KeyDist::ZIPF_SCRAMBLED_99,
             KeyDist::HOTSPOT_10_90,
             KeyDist::Latest { theta: 0.9 },
         ] {
@@ -446,6 +519,51 @@ mod tests {
         let weights = s.expected_weights(10);
         assert!((weights[0] - 0.9).abs() < 1e-9, "{weights:?}");
         assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scrambled_zipf_decorrelates_from_key_prefix() {
+        // Plain zipfian piles its mass onto the low-key prefix (the
+        // region every cache stream warms up); the scrambled variant
+        // must spread the same rank mass near-uniformly across the key
+        // space. Compare the mass landing in the first half.
+        let range = 10_000u64;
+        let prefix_mass = |dist: KeyDist| -> f64 {
+            let s = KeySampler::new(dist, range);
+            // Two buckets: [1, range/2] and (range/2, range].
+            s.expected_weights(2)[0]
+        };
+        let plain = prefix_mass(KeyDist::ZIPF_99);
+        let scrambled = prefix_mass(KeyDist::ZIPF_SCRAMBLED_99);
+        assert!(plain > 0.9, "plain zipf mass in warm prefix: {plain}");
+        assert!((0.3..0.7).contains(&scrambled), "scrambled prefix mass: {scrambled}");
+        // Sampling agrees with the expected weights (same hash on both
+        // sides), and rank 0's full mass survives the scramble: its key
+        // is hit at least as often as the rank-0 weight predicts.
+        let s = KeySampler::new(KeyDist::ZIPF_SCRAMBLED_99, range);
+        let hot_key = scramble_rank(0, range);
+        assert!((1..=range).contains(&hot_key));
+        let mut rng = Xorshift::new(9);
+        let draws = 50_000u64;
+        let hot = (0..draws).filter(|_| s.sample(&mut rng, 0) == hot_key).count() as f64;
+        let want = s.key_weight(hot_key, 0);
+        let got = hot / draws as f64;
+        assert!((got - want).abs() < 0.02, "hot key mass: sampled {got}, expected {want}");
+    }
+
+    #[test]
+    fn scrambled_bucket_weights_match_brute_force() {
+        // expected_weights walks ranks; key_weight walks ranks per key.
+        // They must describe the same distribution.
+        let s = KeySampler::new(KeyDist::ZipfianScrambled { theta: 0.7 }, 997);
+        let weights = s.expected_weights(7);
+        let mut brute = vec![0.0f64; 7];
+        for k in 1..=997u64 {
+            brute[bucket_of(k, 997, 7)] += s.key_weight(k, 0);
+        }
+        for (w, b) in weights.iter().zip(&brute) {
+            assert!((w - b).abs() < 1e-12, "{weights:?} vs {brute:?}");
+        }
     }
 
     #[test]
