@@ -1,0 +1,23 @@
+//! **Figure 15 (beyond the paper)**: throughput timeline of the sharded
+//! NV-Memcached across a **live 4x grow**.
+//!
+//! Axes: rows — before/after geometry (bucket count, item count, load
+//! factor) plus fixed wall-clock sampling windows over the Figure 11
+//! workload (1:4 set:get, 100k key range, 2 shards); y — requests/s per
+//! window (`median_throughput`), with `during_resize=1` on every window
+//! overlapping the `[grow start, migration done]` interval and
+//! `resize_ms` on the after row.
+//!
+//! The claim under test is the incremental-resize tentpole: migration is
+//! lazy and lock-free (operations migrate the bucket they touch, plus
+//! bounded background helping), so the `during_resize` windows show a
+//! dip, never a zero — there is no stop-the-world rehash anywhere in a
+//! grow.
+//!
+//! Thin wrapper over [`bench::experiments::fig15_resize`].
+
+fn main() {
+    let cfg = bench::RunConfig::from_env();
+    let report = bench::experiments::fig15_resize(&cfg);
+    print!("{}", bench::report::render_text(&report));
+}

@@ -33,7 +33,7 @@ pub mod ops;
 pub mod skiplist;
 
 pub use bst::Bst;
-pub use hash::HashTable;
+pub use hash::{GeometryError, HashTable};
 pub use list::{LinkedList, MAX_KEY, MIN_KEY};
 pub use ops::{CasOutcome, LinkOps};
 pub use skiplist::SkipList;

@@ -34,7 +34,7 @@ use std::sync::atomic::Ordering;
 use nvalloc::{NvDomain, OutOfMemory, ThreadCtx};
 use pmem::Flusher;
 
-use crate::marked::{addr_of, bare, clean, is_deleted, is_dirty, DELETED};
+use crate::marked::{addr_of, bare, clean, is_deleted, is_dirty, is_tagged, DELETED};
 use crate::ops::{CasOutcome, LinkOps};
 
 /// Byte offset of the key field.
@@ -66,6 +66,43 @@ pub(crate) fn next_addr(node: usize) -> usize {
     node + NEXT_OFF
 }
 
+/// Outcome of a core insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Inserted {
+    /// The key was linked in.
+    Yes,
+    /// The key already existed; nothing changed.
+    Exists,
+    /// The chain's anchor carries the migrated sentinel ([`crate::marked::TAG`]):
+    /// this bucket has been drained into a new bucket array. The caller
+    /// must re-read the table geometry and re-route.
+    Migrated,
+}
+
+/// Outcome of a core remove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Removed {
+    /// The key was removed; carries its value.
+    Yes(u64),
+    /// The key was absent.
+    No,
+    /// The anchor carries the migrated sentinel, or the target node is
+    /// claimed by a bucket migrator (its `next` word is tagged): the
+    /// caller must re-read the table geometry and re-route.
+    Migrated,
+}
+
+/// Outcome of a core lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Lookup {
+    /// The key is present; carries its value.
+    Found(u64),
+    /// The key is absent from this chain.
+    Absent,
+    /// The anchor carries the migrated sentinel; re-route.
+    Migrated,
+}
+
 /// Outcome of the parse phase: the link to CAS and the candidate node.
 pub(crate) struct Found {
     /// Address of the link word whose value is `curr` (or 0).
@@ -76,6 +113,9 @@ pub(crate) struct Found {
     pub curr: usize,
     /// `curr`'s key (valid when `curr != 0`).
     pub curr_key: u64,
+    /// The anchor carried the migrated sentinel; the other fields are
+    /// meaningless and the caller must re-route.
+    pub migrated: bool,
 }
 
 /// Harris search with durable cleanup: finds the first node with
@@ -84,13 +124,27 @@ pub(crate) struct Found {
 /// the node). On return, the adjacent edges are durable (§3 rule 2).
 pub(crate) fn search(ops: &LinkOps, ctx: &mut ThreadCtx, head_link: usize, key: u64) -> Found {
     'retry: loop {
+        let hw = ops.load(head_link);
+        if is_tagged(hw) {
+            // The chain's anchor carries the migrated sentinel: the bucket
+            // was drained into a new array. Help persist the sentinel and
+            // bail out — the caller re-routes.
+            ops.ensure_durable(head_link, hw, &mut ctx.flusher);
+            return Found {
+                pred_link: head_link,
+                pred_key: None,
+                curr: 0,
+                curr_key: 0,
+                migrated: true,
+            };
+        }
         let mut pred_link = head_link;
         let mut pred_key: Option<u64> = None;
-        let mut curr = addr_of(ops.load(pred_link));
+        let mut curr = addr_of(hw);
         loop {
             if curr == 0 {
                 finalize(ops, ctx, pred_link, 0);
-                return Found { pred_link, pred_key, curr: 0, curr_key: 0 };
+                return Found { pred_link, pred_key, curr: 0, curr_key: 0, migrated: false };
             }
             let next_w = ops.load(next_addr(curr));
             if is_deleted(next_w) {
@@ -121,7 +175,7 @@ pub(crate) fn search(ops: &LinkOps, ctx: &mut ThreadCtx, head_link: usize, key: 
             let ck = key_at(ops, curr);
             if ck >= key {
                 finalize(ops, ctx, pred_link, curr);
-                return Found { pred_link, pred_key, curr, curr_key: ck };
+                return Found { pred_link, pred_key, curr, curr_key: ck, migrated: false };
             }
             pred_link = next_addr(curr);
             pred_key = Some(ck);
@@ -143,27 +197,49 @@ fn finalize(ops: &LinkOps, ctx: &mut ThreadCtx, pred_link: usize, curr: usize) {
     }
 }
 
-/// Core insert into the list anchored at `head_link`. Returns
-/// `Ok(false)` if the key was already present.
+/// Core insert into the list anchored at `head_link`.
 pub(crate) fn insert(
     ops: &LinkOps,
     ctx: &mut ThreadCtx,
     head_link: usize,
     key: u64,
     value: u64,
-) -> Result<bool, OutOfMemory> {
+) -> Result<Inserted, OutOfMemory> {
+    insert_guarded(ops, ctx, head_link, key, value, |_| true)
+}
+
+/// [`insert`] with a validity guard run after the presence decision and
+/// before the node is linked. The hash table passes a geometry re-check:
+/// an absence observed in a chain is only actionable while that chain is
+/// still where the key routes (a concurrent resize may have moved the key
+/// to another array after the search walked past its gap). A `false`
+/// guard aborts with [`Inserted::Migrated`] without allocating.
+pub(crate) fn insert_guarded(
+    ops: &LinkOps,
+    ctx: &mut ThreadCtx,
+    head_link: usize,
+    key: u64,
+    value: u64,
+    mut guard: impl FnMut(&mut Flusher) -> bool,
+) -> Result<Inserted, OutOfMemory> {
     debug_assert!((MIN_KEY..=MAX_KEY).contains(&key), "key out of range");
     loop {
         let f = search(ops, ctx, head_link, key);
+        if f.migrated {
+            return Ok(Inserted::Migrated);
+        }
         // Durable-dependency scans (§4.2): the decision depends on the
         // state around `key` and the link being modified belongs to the
         // predecessor. Done before our own update so it stays cached.
         ops.scan(key, &mut ctx.flusher);
         if f.curr != 0 && f.curr_key == key {
-            return Ok(false);
+            return Ok(Inserted::Exists);
         }
         if let Some(pk) = f.pred_key {
             ops.scan(pk, &mut ctx.flusher);
+        }
+        if !guard(&mut ctx.flusher) {
+            return Ok(Inserted::Migrated);
         }
         let node = ctx.alloc(NODE_SIZE)?;
         let pool = ops.pool();
@@ -175,24 +251,22 @@ pub(crate) fn insert(
         // node becomes reachable (§5.5).
         ops.pre_link_fence(&mut ctx.flusher);
         match ops.link_cas(key, f.pred_link, f.curr as u64, node as u64, &mut ctx.flusher) {
-            CasOutcome::Ok => return Ok(true),
+            CasOutcome::Ok => return Ok(Inserted::Yes),
             CasOutcome::Retry => ctx.dealloc_unlinked(node),
         }
     }
 }
 
-/// Core remove. Returns the removed value, if the key was present.
-pub(crate) fn remove(
-    ops: &LinkOps,
-    ctx: &mut ThreadCtx,
-    head_link: usize,
-    key: u64,
-) -> Option<u64> {
+/// Core remove.
+pub(crate) fn remove(ops: &LinkOps, ctx: &mut ThreadCtx, head_link: usize, key: u64) -> Removed {
     loop {
         let f = search(ops, ctx, head_link, key);
+        if f.migrated {
+            return Removed::Migrated;
+        }
         ops.scan(key, &mut ctx.flusher);
         if f.curr == 0 || f.curr_key != key {
-            return None;
+            return Removed::No;
         }
         if let Some(pk) = f.pred_key {
             ops.scan(pk, &mut ctx.flusher);
@@ -203,6 +277,12 @@ pub(crate) fn remove(
             // Racing remover won; let the next search clean up, then the
             // key will be gone.
             continue;
+        }
+        if is_tagged(next_w) {
+            // The node is claimed by a bucket migrator: its copy to the
+            // destination array may already exist, so deleting it here
+            // would resurrect the key. Re-route through the table.
+            return Removed::Migrated;
         }
         // Logical deletion: the linearization point, made durable by
         // link-and-persist / the link cache.
@@ -219,7 +299,7 @@ pub(crate) fn remove(
                         let _ = search(ops, ctx, head_link, key);
                     }
                 }
-                return Some(val);
+                return Removed::Yes(val);
             }
         }
     }
@@ -227,10 +307,16 @@ pub(crate) fn remove(
 
 /// Core read-only lookup. Does not unlink, but helps persist the edges it
 /// depends on and performs the link-cache scan before returning (§4.2).
-pub(crate) fn get(ops: &LinkOps, ctx: &mut ThreadCtx, head_link: usize, key: u64) -> Option<u64> {
+pub(crate) fn get(ops: &LinkOps, ctx: &mut ThreadCtx, head_link: usize, key: u64) -> Lookup {
+    let hw = ops.load(head_link);
+    if is_tagged(hw) {
+        ops.ensure_durable(head_link, hw, &mut ctx.flusher);
+        ops.scan(key, &mut ctx.flusher);
+        return Lookup::Migrated;
+    }
     let mut prev_link = head_link;
-    let mut curr = addr_of(ops.load(head_link));
-    let mut result = None;
+    let mut curr = addr_of(hw);
+    let mut result = Lookup::Absent;
     while curr != 0 {
         let w = ops.load(next_addr(curr));
         let ck = key_at(ops, curr);
@@ -246,7 +332,7 @@ pub(crate) fn get(ops: &LinkOps, ctx: &mut ThreadCtx, head_link: usize, key: u64
                     ops.ensure_durable(prev_link, pw, &mut ctx.flusher);
                     ops.ensure_durable(next_addr(curr), w, &mut ctx.flusher);
                 }
-                result = Some(value_at(ops, curr));
+                result = Lookup::Found(value_at(ops, curr));
                 break;
             }
             // Marked ghost: the absence we report relies on the deletion
@@ -360,7 +446,11 @@ impl LinkedList {
         ctx.begin_op();
         let r = insert(&self.ops, ctx, self.head_link, key, value);
         ctx.end_op();
-        r
+        match r? {
+            Inserted::Yes => Ok(true),
+            Inserted::Exists => Ok(false),
+            Inserted::Migrated => unreachable!("a standalone list anchor is never migrated"),
+        }
     }
 
     /// Removes `key`, returning its value if present.
@@ -368,7 +458,11 @@ impl LinkedList {
         ctx.begin_op();
         let r = remove(&self.ops, ctx, self.head_link, key);
         ctx.end_op();
-        r
+        match r {
+            Removed::Yes(v) => Some(v),
+            Removed::No => None,
+            Removed::Migrated => unreachable!("a standalone list anchor is never migrated"),
+        }
     }
 
     /// Looks up `key`.
@@ -376,7 +470,11 @@ impl LinkedList {
         ctx.begin_op();
         let r = get(&self.ops, ctx, self.head_link, key);
         ctx.end_op();
-        r
+        match r {
+            Lookup::Found(v) => Some(v),
+            Lookup::Absent => None,
+            Lookup::Migrated => unreachable!("a standalone list anchor is never migrated"),
+        }
     }
 
     /// Whether `key` is present.

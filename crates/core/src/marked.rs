@@ -12,7 +12,10 @@
 //!   the link change; cleared (without needing persistence) once the link
 //!   has been written back.
 //! * [`TAG`] (bit 2) — the Natarajan–Mittal edge *tag* used during
-//!   deletion cleanup; unused by the list-based structures.
+//!   deletion cleanup. The hash table reuses this bit during an
+//!   incremental resize: on a bucket's head word it is the "drained into
+//!   the new array" sentinel, and on a node's `next` word it is the
+//!   migrator's claim (see `core::hash`).
 
 /// Logical-deletion mark (Harris) / edge flag (Natarajan–Mittal).
 pub const DELETED: u64 = 1;

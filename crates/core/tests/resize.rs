@@ -1,0 +1,256 @@
+//! Incremental-resize tests for the hash table: contents and routing
+//! across a grow, concurrent operations racing a live resize, crash
+//! recovery of a half-migrated table, and a proptest driving arbitrary
+//! op interleavings against a `BTreeMap` oracle while a resize is in
+//! flight. The exhaustive crash-point enumeration lives in the
+//! `crashtest` crate; these tests pin the volatile and single-crash
+//! semantics at the structure level.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use logfree::{HashTable, LinkOps};
+use nvalloc::NvDomain;
+use pmem::{LatencyModel, Mode, PmemPool, PoolBuilder};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+const ROOT: usize = 1;
+
+fn pool(mb: usize, mode: Mode) -> Arc<PmemPool> {
+    PoolBuilder::new(mb << 20).mode(mode).latency(LatencyModel::ZERO).build()
+}
+
+fn make_hash(pool: &Arc<PmemPool>, buckets: usize) -> (Arc<NvDomain>, HashTable) {
+    let domain = NvDomain::create(Arc::clone(pool));
+    let ops = LinkOps::new(Arc::clone(pool), None);
+    let ht = HashTable::create(&domain, ROOT, buckets, ops).unwrap();
+    (domain, ht)
+}
+
+#[test]
+fn grow_preserves_contents_and_routing() {
+    let pool = pool(16, Mode::CrashSim);
+    let (domain, ht) = make_hash(&pool, 16);
+    let mut ctx = domain.register();
+    let mut oracle = BTreeMap::new();
+    for k in 1..=400u64 {
+        ht.insert(&mut ctx, k, k * 3).unwrap();
+        oracle.insert(k, k * 3);
+    }
+    assert_eq!(ht.n_buckets(), 16);
+
+    assert!(ht.grow(&mut ctx, 4).unwrap());
+    assert!(ht.resize_in_flight());
+    // Routing is live immediately: new inserts/removes land correctly
+    // while the table is mid-migration (each op drains its own bucket
+    // plus two more on behalf of the sweep).
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..300 {
+        let k = rng.gen_range(1..600u64);
+        match rng.gen_range(0..3) {
+            0 => {
+                assert_eq!(
+                    ht.insert(&mut ctx, k, k * 3).unwrap(),
+                    oracle.insert(k, k * 3).is_none()
+                );
+            }
+            1 => assert_eq!(ht.remove(&mut ctx, k), oracle.remove(&k)),
+            _ => assert_eq!(ht.get(&mut ctx, k), oracle.get(&k).copied()),
+        }
+    }
+    ht.finish_resize(&mut ctx).unwrap();
+    assert!(!ht.resize_in_flight());
+    assert_eq!(ht.n_buckets(), 64, "4x grow from 16 buckets");
+    assert_eq!(ht.check_routing(), 0, "every key hashes to the bucket it lives in");
+    let mut snap = ht.snapshot();
+    snap.sort_unstable();
+    let expect: Vec<_> = oracle.into_iter().collect();
+    assert_eq!(snap, expect);
+
+    // A second grow still works after the first completed.
+    assert!(ht.grow(&mut ctx, 2).unwrap());
+    assert!(!ht.grow(&mut ctx, 2).unwrap(), "grow while in flight is refused");
+    ht.finish_resize(&mut ctx).unwrap();
+    assert_eq!(ht.n_buckets(), 128);
+    assert_eq!(ht.check_routing(), 0);
+}
+
+#[test]
+fn concurrent_ops_race_a_live_grow() {
+    let pool = PoolBuilder::new(256 << 20).mode(Mode::Perf).build();
+    let (domain, ht) = make_hash(&pool, 16);
+    {
+        let mut ctx = domain.register();
+        for k in 1..=1000u64 {
+            ht.insert(&mut ctx, k, 1).unwrap();
+        }
+    }
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            let domain = Arc::clone(&domain);
+            let ht = &ht;
+            s.spawn(move || {
+                let mut ctx = domain.register();
+                let mut rng = StdRng::seed_from_u64(t + 100);
+                // Thread-disjoint key ranges above the prefill, so each
+                // thread can assert its own set semantics exactly.
+                let base = 2000 + t * 500;
+                for i in 0..500 {
+                    let k = base + i;
+                    assert!(ht.insert(&mut ctx, k, t).unwrap());
+                    assert_eq!(ht.get(&mut ctx, k), Some(t));
+                    if rng.gen_bool(0.5) {
+                        assert_eq!(ht.remove(&mut ctx, k), Some(t));
+                    }
+                    // Shared prefill keys: result is racy, but must not
+                    // wedge or corrupt.
+                    let shared = rng.gen_range(1..=1000u64);
+                    let _ = ht.get(&mut ctx, shared);
+                }
+                // Epoch-respecting only: peers still run, and draining
+                // would free the retired old bucket array under them.
+                ctx.try_collect();
+            });
+        }
+        let domain = Arc::clone(&domain);
+        let ht = &ht;
+        s.spawn(move || {
+            let mut ctx = domain.register();
+            assert!(ht.grow(&mut ctx, 4).unwrap());
+            ht.finish_resize(&mut ctx).unwrap();
+            ctx.try_collect();
+        });
+    });
+    let mut ctx = domain.register();
+    ht.finish_resize(&mut ctx).unwrap();
+    assert!(!ht.resize_in_flight());
+    assert_eq!(ht.n_buckets(), 64);
+    assert_eq!(ht.check_routing(), 0);
+    let mut snap = ht.snapshot();
+    snap.sort_unstable();
+    assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "no duplicate keys");
+    for k in 1..=1000u64 {
+        assert_eq!(ht.get(&mut ctx, k), Some(1), "prefill key {k} survived the grow");
+    }
+}
+
+#[test]
+fn crash_mid_resize_rolls_forward() {
+    let pool = pool(16, Mode::CrashSim);
+    let (domain, ht) = make_hash(&pool, 16);
+    let mut ctx = domain.register();
+    let mut oracle = BTreeMap::new();
+    for k in 1..=200u64 {
+        ht.insert(&mut ctx, k, k + 9).unwrap();
+        oracle.insert(k, k + 9);
+    }
+    assert!(ht.grow(&mut ctx, 4).unwrap());
+    // Partially migrate: a few ops, each draining its own bucket plus two
+    // for the sweep — well short of the 16 old buckets.
+    for k in 1..=3u64 {
+        assert_eq!(ht.remove(&mut ctx, k), oracle.remove(&k));
+    }
+    assert!(ht.resize_in_flight(), "only part of the table migrated");
+    drop(ctx);
+    // SAFETY: no threads are running.
+    unsafe { pool.simulate_crash().unwrap() };
+
+    let domain2 = NvDomain::attach(Arc::clone(&pool));
+    let ht2 = HashTable::try_attach(&domain2, ROOT, LinkOps::new(Arc::clone(&pool), None))
+        .expect("geometry of a mid-resize image is valid");
+    let mut f = pool.flusher();
+    ht2.recover(&mut f);
+    // Leak scan before any allocation, with the both-arrays oracle.
+    let report = domain2.recover_leaks(|a| ht2.contains_node_at(a));
+    let mut ctx2 = domain2.register();
+    assert!(ht2.finish_resize(&mut ctx2).unwrap(), "roll the crashed resize forward");
+    ctx2.drain_all();
+    ht2.sweep_orphan_regions(&mut ctx2);
+    assert!(!ht2.resize_in_flight());
+    assert_eq!(ht2.n_buckets(), 64);
+    assert_eq!(ht2.check_routing(), 0);
+    let mut snap = ht2.snapshot();
+    snap.sort_unstable();
+    let expect: Vec<_> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(snap, expect, "no key lost or resurrected (leaks recovered: {report:?})");
+    let reachable = ht2.collect_reachable();
+    assert_eq!(
+        domain2.count_unreachable(|a| reachable.contains(&a)),
+        0,
+        "zero leaks after mid-resize recovery"
+    );
+}
+
+/// One scripted operation for the interleaving proptest.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1..64u64, 0..1000u64).prop_map(|(k, v)| Op::Insert(k, v)),
+        (1..64u64).prop_map(Op::Remove),
+        (1..64u64).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Satellite: arbitrary insert/remove/get interleavings racing a
+    /// resize on a volatile shadow table match a `BTreeMap` oracle
+    /// snapshot-for-snapshot — every individual result and the final
+    /// contents. The grow is injected at an arbitrary point in the
+    /// sequence, so ops land on a steady table, a mid-migration table
+    /// (draining buckets as they go), and a freshly committed table.
+    #[test]
+    fn interleaved_ops_racing_resize_match_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        grow_at in 0..120usize,
+        factor in (1..3usize).prop_map(|p| 1usize << p),
+        finish_eagerly in any::<bool>(),
+    ) {
+        let pool = pool(16, Mode::Volatile);
+        let (domain, ht) = make_hash(&pool, 8);
+        let mut ctx = domain.register();
+        let mut oracle = BTreeMap::new();
+        let mut grown = false;
+        for (i, op) in ops.iter().enumerate() {
+            if i == grow_at.min(ops.len() - 1) {
+                prop_assert!(ht.grow(&mut ctx, factor).unwrap());
+                grown = true;
+                if finish_eagerly {
+                    ht.finish_resize(&mut ctx).unwrap();
+                }
+            }
+            match *op {
+                Op::Insert(k, v) => {
+                    // Set semantics: a duplicate insert does NOT
+                    // overwrite, so only mirror successful inserts.
+                    let inserted = ht.insert(&mut ctx, k, v).unwrap();
+                    prop_assert_eq!(inserted, !oracle.contains_key(&k));
+                    if inserted {
+                        oracle.insert(k, v);
+                    }
+                }
+                Op::Remove(k) => prop_assert_eq!(ht.remove(&mut ctx, k), oracle.remove(&k)),
+                Op::Get(k) => prop_assert_eq!(ht.get(&mut ctx, k), oracle.get(&k).copied()),
+            }
+        }
+        if !grown {
+            prop_assert!(ht.grow(&mut ctx, factor).unwrap());
+        }
+        ht.finish_resize(&mut ctx).unwrap();
+        prop_assert!(!ht.resize_in_flight());
+        prop_assert_eq!(ht.n_buckets(), 8 * factor.next_power_of_two());
+        prop_assert_eq!(ht.check_routing(), 0);
+        let mut snap = ht.snapshot();
+        snap.sort_unstable();
+        let expect: Vec<_> = oracle.into_iter().collect();
+        prop_assert_eq!(snap, expect);
+    }
+}

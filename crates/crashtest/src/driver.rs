@@ -55,8 +55,9 @@ pub struct CrashReport {
     pub seed: u64,
     /// Total persist-relevant events in the trace (= crash points).
     pub total_events: u64,
-    /// Event taxonomy: `(clwbs, fences, link publishes, TLAB leases)`.
-    pub event_kinds: (u64, u64, u64, u64),
+    /// Event taxonomy: `(clwbs, fences, link publishes, TLAB leases,
+    /// resize-state updates)`.
+    pub event_kinds: (u64, u64, u64, u64, u64),
     /// Crash points actually replayed (less than `total_events` when
     /// sampled).
     pub points_tested: usize,
@@ -190,6 +191,18 @@ pub fn crash_at<T: CrashTarget>(
             detail: format!("{leaked} allocated-but-unreachable slot(s) after recover_leaks"),
         });
     }
+    // Target-specific structural audit (e.g. hash-bucket routing and
+    // resize quiescence).
+    if let Some(detail) = target.post_recovery_check() {
+        violations.push(Violation {
+            seed: cfg.seed,
+            crash_point: k,
+            key: 0,
+            got: None,
+            allowed: vec![],
+            detail,
+        });
+    }
     violations
 }
 
@@ -234,6 +247,7 @@ pub fn run_crash_points<T: CrashTarget>(cfg: &CrashConfig) -> CrashReport {
             count_plan.kind_count(CrashEvent::Fence),
             count_plan.kind_count(CrashEvent::LinkPublish),
             count_plan.kind_count(CrashEvent::TlabLease),
+            count_plan.kind_count(CrashEvent::ResizeState),
         ),
         points_tested: points.len(),
         violations,
@@ -347,7 +361,10 @@ fn torture_worker<T: CrashTarget>(target: &T, cfg: &TortureConfig, tid: u64, log
             log.lock().expect("done log poisoned").push((key, state));
         }
     }
-    ctx.drain_all();
+    // Epoch-respecting collection only: peers are still running, and an
+    // unconditional `drain_all` would free a retired bucket-array region
+    // out from under a concurrent reader mid-resize.
+    ctx.try_collect();
 }
 
 /// Multi-threaded quiesce-and-crash: workers hammer the structure while
@@ -469,6 +486,10 @@ fn torture_once<T: CrashTarget>(cfg: &TortureConfig, crash_at: u64) -> TortureRe
                 );
             }
         }
+    }
+    if let Some(detail) = recovered_target.post_recovery_check() {
+        violations += 1;
+        eprintln!("crashtest[{}] torture (seed={}): {detail}", T::NAME, cfg.seed);
     }
     let leaked_after_recovery =
         recovered_target.domain().count_unreachable(|addr| recovered_target.reachable(addr));

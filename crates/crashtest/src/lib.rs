@@ -48,7 +48,10 @@ pub use driver::{
 };
 pub use oracle::{OracleConfig, Violation};
 pub use sharded::{count_sharded_events, run_sharded_crash_points, sharded_crash_at};
-pub use target::{BstTarget, CrashTarget, HashTarget, ListTarget, MemcachedTarget, SkipTarget};
+pub use target::{
+    BstTarget, CrashTarget, HashTarget, ListTarget, MemcachedTarget, ResizeTarget, SkipTarget,
+    RESIZE_GROW_AT, RESIZE_GROW_EVERY,
+};
 pub use trace::{gen_trace, OpMix, TraceOp};
 
 use std::sync::OnceLock;

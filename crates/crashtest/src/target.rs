@@ -51,6 +51,13 @@ pub trait CrashTarget: Sized + Send + Sync {
 
     /// §5.5 reachability oracle for the leak audit.
     fn reachable(&self, addr: usize) -> bool;
+
+    /// Target-specific structural invariant, audited after every
+    /// recovery (e.g. bucket routing and resize quiescence for the hash
+    /// table). `None` means healthy; `Some(detail)` becomes a violation.
+    fn post_recovery_check(&self) -> Option<String> {
+        None
+    }
 }
 
 fn make_ops(pool: &Arc<PmemPool>, use_link_cache: bool) -> LinkOps {
@@ -120,10 +127,6 @@ structure_target!(ListTarget, "LinkedList", LinkedList, |domain: &Arc<NvDomain>,
     LinkedList::create(domain, CRASHTEST_ROOT, ops)
 });
 
-structure_target!(HashTarget, "HashTable", HashTable, |domain: &Arc<NvDomain>, ops| {
-    HashTable::create(domain, CRASHTEST_ROOT, N_BUCKETS, ops).expect("pool sized for table")
-});
-
 structure_target!(SkipTarget, "SkipList", SkipList, |domain: &Arc<NvDomain>, ops| {
     let mut ctx = domain.register();
     SkipList::create(domain, &mut ctx, CRASHTEST_ROOT, ops).expect("pool sized for skip list")
@@ -133,6 +136,163 @@ structure_target!(BstTarget, "Bst", Bst, |domain: &Arc<NvDomain>, ops| {
     let mut ctx = domain.register();
     Bst::create(domain, &mut ctx, CRASHTEST_ROOT, ops).expect("pool sized for bst")
 });
+
+/// Applies one trace op to a hash table (shared by the hash-flavoured
+/// targets).
+fn apply_hash(ds: &HashTable, ctx: &mut ThreadCtx, op: TraceOp) -> bool {
+    match op {
+        TraceOp::Insert(k, v) => ds.insert(ctx, k, v).expect("pool sized for trace"),
+        TraceOp::Remove(k) => ds.remove(ctx, k).is_some(),
+        TraceOp::Get(k) => {
+            let _ = ds.get(ctx, k);
+            false
+        }
+    }
+}
+
+/// The full resize-aware hash-table recovery sequence: attach, repair
+/// the chains, reclaim leaks (with the both-arrays reachability oracle,
+/// *before* any allocation), then roll any in-flight resize forward and
+/// sweep bucket-array regions orphaned by a crash between
+/// allocate-and-publish.
+fn recover_hash(pool: &Arc<PmemPool>) -> (Arc<NvDomain>, HashTable, RecoveryReport) {
+    let domain = NvDomain::attach(Arc::clone(pool));
+    let ds = HashTable::attach(&domain, CRASHTEST_ROOT, make_ops(pool, false));
+    let mut flusher = pool.flusher();
+    ds.recover(&mut flusher);
+    let report = domain.recover_leaks(|addr| ds.contains_node_at(addr));
+    let mut ctx = domain.register();
+    ds.finish_resize(&mut ctx).expect("pool sized to finish the resize");
+    ctx.drain_all();
+    ds.sweep_orphan_regions(&mut ctx);
+    drop(ctx);
+    (domain, ds, report)
+}
+
+/// Post-recovery structural audit shared by the hash-flavoured targets:
+/// the resize must be quiescent and every live node must hash to the
+/// bucket chain it sits in.
+fn check_hash(ds: &HashTable) -> Option<String> {
+    if ds.resize_in_flight() {
+        return Some("resize still in flight after recovery".into());
+    }
+    let misrouted = ds.check_routing();
+    (misrouted != 0).then(|| format!("{misrouted} live node(s) in the wrong bucket after recovery"))
+}
+
+/// The hash table. Hand-written rather than macro-generated: its
+/// recovery is resize-aware and its post-recovery check audits bucket
+/// routing, neither of which the other structures have.
+pub struct HashTarget {
+    domain: Arc<NvDomain>,
+    ds: HashTable,
+}
+
+impl CrashTarget for HashTarget {
+    const NAME: &'static str = "HashTable";
+
+    fn create(pool: &Arc<PmemPool>, use_link_cache: bool) -> Self {
+        let domain = NvDomain::create(Arc::clone(pool));
+        let ops = make_ops(pool, use_link_cache);
+        let ds = HashTable::create(&domain, CRASHTEST_ROOT, N_BUCKETS, ops)
+            .expect("pool sized for table");
+        Self { domain, ds }
+    }
+
+    fn domain(&self) -> &Arc<NvDomain> {
+        &self.domain
+    }
+
+    fn apply(&self, ctx: &mut ThreadCtx, op: TraceOp) -> bool {
+        apply_hash(&self.ds, ctx, op)
+    }
+
+    fn recover(pool: &Arc<PmemPool>) -> (Self, RecoveryReport) {
+        let (domain, ds, report) = recover_hash(pool);
+        (Self { domain, ds }, report)
+    }
+
+    fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.ds.snapshot()
+    }
+
+    fn reachable(&self, addr: usize) -> bool {
+        self.ds.contains_node_at(addr)
+    }
+
+    fn post_recovery_check(&self) -> Option<String> {
+        check_hash(&self.ds)
+    }
+}
+
+/// Trace-op index at which [`ResizeTarget`] kicks off a 4x grow (modulo
+/// [`RESIZE_GROW_EVERY`]). Early enough that the default 64-op trace
+/// covers publish, migration *and* commit crash points in one pass.
+pub const RESIZE_GROW_AT: u64 = 20;
+/// Grow period in ops: a long (torture) run keeps starting fresh grows,
+/// a short exhaustive trace sees exactly one.
+pub const RESIZE_GROW_EVERY: u64 = 2_500;
+
+/// A hash table whose trace triggers an incremental 4x grow mid-run, so
+/// the exhaustive driver enumerates a crash at every clwb, fence,
+/// link-publish and resize-state event of a live migration — and the
+/// torture driver races worker threads against repeated grows.
+pub struct ResizeTarget {
+    domain: Arc<NvDomain>,
+    ds: HashTable,
+    ops_applied: std::sync::atomic::AtomicU64,
+}
+
+impl ResizeTarget {
+    /// The underlying table (mutation tests flip its fault-injection
+    /// knobs).
+    pub fn table(&self) -> &HashTable {
+        &self.ds
+    }
+}
+
+impl CrashTarget for ResizeTarget {
+    const NAME: &'static str = "HashTable+resize";
+
+    fn create(pool: &Arc<PmemPool>, use_link_cache: bool) -> Self {
+        let domain = NvDomain::create(Arc::clone(pool));
+        let ops = make_ops(pool, use_link_cache);
+        let ds = HashTable::create(&domain, CRASHTEST_ROOT, N_BUCKETS, ops)
+            .expect("pool sized for table");
+        Self { domain, ds, ops_applied: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    fn domain(&self) -> &Arc<NvDomain> {
+        &self.domain
+    }
+
+    fn apply(&self, ctx: &mut ThreadCtx, op: TraceOp) -> bool {
+        let n = self.ops_applied.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if n % RESIZE_GROW_EVERY == RESIZE_GROW_AT {
+            // Best effort: a grow already in flight refuses, and OOM just
+            // leaves the table denser — neither may fail the trace.
+            let _ = self.ds.grow(ctx, 4);
+        }
+        apply_hash(&self.ds, ctx, op)
+    }
+
+    fn recover(pool: &Arc<PmemPool>) -> (Self, RecoveryReport) {
+        let (domain, ds, report) = recover_hash(pool);
+        (Self { domain, ds, ops_applied: std::sync::atomic::AtomicU64::new(0) }, report)
+    }
+
+    fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.ds.snapshot()
+    }
+
+    fn reachable(&self, addr: usize) -> bool {
+        self.ds.contains_node_at(addr)
+    }
+
+    fn post_recovery_check(&self) -> Option<String> {
+        check_hash(&self.ds)
+    }
+}
 
 /// NV-Memcached as a crash target. `Insert` maps to `set` (upsert),
 /// `Remove` to `delete`. Capacity is effectively unbounded so eviction
@@ -183,5 +343,11 @@ impl CrashTarget for MemcachedTarget {
 
     fn reachable(&self, addr: usize) -> bool {
         self.mc.contains_node_at(addr)
+    }
+
+    fn post_recovery_check(&self) -> Option<String> {
+        self.mc
+            .resize_in_flight()
+            .then(|| "cache resize still in flight after recovery".to_string())
     }
 }

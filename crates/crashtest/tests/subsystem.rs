@@ -10,7 +10,7 @@ use std::sync::Arc;
 use crashtest::{
     count_events, count_sharded_events, run_crash_points, run_sharded_crash_points, run_torture,
     seed_from_env, BstTarget, CrashConfig, CrashTarget, HashTarget, ListTarget, MemcachedTarget,
-    OpMix, SkipTarget, TortureConfig, TraceOp,
+    OpMix, ResizeTarget, SkipTarget, TortureConfig, TraceOp,
 };
 use nvalloc::{NvDomain, RecoveryReport, ThreadCtx};
 use pmem::PmemPool;
@@ -42,6 +42,29 @@ fn bst_survives_every_crash_point() {
 #[test]
 fn nv_memcached_survives_every_crash_point() {
     run_crash_points::<MemcachedTarget>(&cfg()).assert_clean();
+}
+
+#[test]
+fn resize_in_flight_survives_every_crash_point() {
+    // The tentpole guarantee: a 4x grow fires mid-trace, so the
+    // enumeration crashes the table at every clwb/fence/link-publish/
+    // resize-state event of a live migration — publish of the new
+    // array, per-node claim/copy/delete/unlink, cursor advances, the
+    // CUR swing and the commit. Every point must recover to the oracle
+    // state with zero leaks, correct routing and no resize left in
+    // flight (recovery rolls it forward).
+    let report = run_crash_points::<ResizeTarget>(&cfg());
+    assert!(report.event_kinds.4 > 0, "the trace produced no resize-state crash points");
+    report.assert_clean();
+}
+
+#[test]
+fn resize_trace_covers_every_event_kind() {
+    let (plan, _, _) = count_events::<ResizeTarget>(&cfg());
+    use pmem::CrashEvent::*;
+    for kind in [Clwb, Fence, LinkPublish, TlabLease, ResizeState] {
+        assert!(plan.kind_count(kind) > 0, "no {kind:?} events in the resize trace");
+    }
 }
 
 #[test]
@@ -120,6 +143,15 @@ fn torture_quiesce_and_crash_skiplist() {
 #[test]
 fn torture_quiesce_and_crash_hash_table() {
     run_torture::<HashTarget>(&TortureConfig::small(seed_from_env())).assert_clean();
+}
+
+#[test]
+fn torture_quiesce_and_crash_racing_resizes() {
+    // 4 workers hammer the table while the shared op counter keeps
+    // starting fresh 4x grows (every RESIZE_GROW_EVERY ops), so the
+    // mid-run crash lands with high probability inside a migration
+    // raced by concurrent inserts/removes.
+    run_torture::<ResizeTarget>(&TortureConfig::small(seed_from_env())).assert_clean();
 }
 
 // ---------------------------------------------------------------------
@@ -247,4 +279,96 @@ fn omitted_flush_is_caught() {
         "expected lost completed inserts, got: {:?}",
         report.violations
     );
+}
+
+// ---------------------------------------------------------------------
+// Mutation test for the resize word: a table whose resize-state updates
+// (NEW/CUR/CURSOR) are stored but never written back. The enumeration
+// must flag it — either as lost completed updates (the durable header
+// never learns about the new array, so migrated keys vanish) or as a
+// recovery-time geometry rejection (the stale durable CUR points at a
+// bucket array whose region reclamation already zeroed).
+// ---------------------------------------------------------------------
+
+/// [`ResizeTarget`] with the resize-word write-backs suppressed.
+struct BrokenResize(ResizeTarget);
+
+impl CrashTarget for BrokenResize {
+    const NAME: &'static str = "BrokenResize";
+
+    fn create(pool: &Arc<PmemPool>, use_link_cache: bool) -> Self {
+        let target = ResizeTarget::create(pool, use_link_cache);
+        target.table().set_omit_resize_word_flush(true);
+        Self(target)
+    }
+
+    fn domain(&self) -> &Arc<NvDomain> {
+        self.0.domain()
+    }
+
+    fn apply(&self, ctx: &mut ThreadCtx, op: TraceOp) -> bool {
+        self.0.apply(ctx, op)
+    }
+
+    fn recover(pool: &Arc<PmemPool>) -> (Self, RecoveryReport) {
+        let (target, report) = ResizeTarget::recover(pool);
+        (Self(target), report)
+    }
+
+    fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.0.snapshot()
+    }
+
+    fn reachable(&self, addr: usize) -> bool {
+        self.0.reachable(addr)
+    }
+
+    fn post_recovery_check(&self) -> Option<String> {
+        self.0.post_recovery_check()
+    }
+}
+
+#[test]
+fn omitted_resize_word_flush_is_caught() {
+    use crashtest::crash_at;
+
+    let c = cfg();
+    let (plan, spans, trace) = count_events::<BrokenResize>(&c);
+    let total = plan.events();
+    assert!(plan.kind_count(pmem::CrashEvent::ResizeState) > 0, "the grow never fired");
+
+    // A torn-geometry image can also make recovery reject the pool
+    // outright (attach panics on the zeroed stale array) — that counts
+    // as detection, so each point runs under catch_unwind. Silence the
+    // expected panic backtraces for the duration.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let step = (total / 16).max(1) as usize;
+    let mut detections = 0usize;
+    let mut points: Vec<u64> = (0..total).step_by(step).collect();
+    points.push(total); // crash after completion: migration certainly ran
+    let mut completion_detected = false;
+    for &k in &points {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crash_at::<BrokenResize>(&c, &trace, &spans, k)
+        }));
+        let detected = match outcome {
+            Ok(violations) => !violations.is_empty(),
+            Err(_) => true, // recovery rejected the torn image
+        };
+        if detected {
+            detections += 1;
+            if k == total {
+                completion_detected = true;
+            }
+        }
+    }
+    std::panic::set_hook(prev_hook);
+    assert!(
+        detections > 0,
+        "the harness failed to flag deliberately-omitted resize-word flushes \
+         ({} points tested)",
+        points.len()
+    );
+    assert!(completion_detected, "a full trace past an unflushed grow must lose its migrated keys");
 }

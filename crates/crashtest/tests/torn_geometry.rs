@@ -1,0 +1,136 @@
+//! Recovery fixtures for torn resize-header states — the two edges of
+//! the resize state machine that the random crash enumeration cannot
+//! pin deterministically:
+//!
+//! * **committed-pending** (`CUR == NEW != 0`): the crash landed between
+//!   the CUR swing and the NEW clear. Recovery must *roll forward* —
+//!   accept the image, clear NEW, and serve the fully migrated table.
+//! * **corrupt NEW**: the durable NEW word points at garbage (a torn or
+//!   foreign write). `try_attach` must *cleanly reject* the pool with a
+//!   [`GeometryError`] instead of walking wild pointers.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use logfree::hash::{H_CUR, H_NEW};
+use logfree::{GeometryError, HashTable, LinkOps};
+use nvalloc::NvDomain;
+use pmem::{LatencyModel, Mode, PmemPool, PoolBuilder};
+
+const ROOT: usize = 1;
+
+fn crashsim_pool() -> Arc<PmemPool> {
+    PoolBuilder::new(16 << 20).mode(Mode::CrashSim).latency(LatencyModel::ZERO).build()
+}
+
+/// Builds a 16-bucket table, fills it with `1..=n` (value `k * 7`), and
+/// runs one full 4x grow so the image is steady at 64 buckets.
+fn grown_table(pool: &Arc<PmemPool>, n: u64) -> Arc<NvDomain> {
+    let domain = NvDomain::create(Arc::clone(pool));
+    let ops = LinkOps::new(Arc::clone(pool), None);
+    let ht = HashTable::create(&domain, ROOT, 16, ops).unwrap();
+    let mut ctx = domain.register();
+    for k in 1..=n {
+        ht.insert(&mut ctx, k, k * 7).unwrap();
+    }
+    ht.grow(&mut ctx, 4).unwrap();
+    ht.finish_resize(&mut ctx).unwrap();
+    ctx.drain_all();
+    domain
+}
+
+/// Durably overwrites the header word at `hdr + off` with `value`.
+fn forge_header_word(pool: &Arc<PmemPool>, off: usize, value: u64) {
+    let hdr = pool.root(ROOT) as usize;
+    let mut flusher = pool.flusher();
+    pool.atomic_u64(hdr + off).store(value, Ordering::Release);
+    flusher.persist(hdr + off, 8);
+}
+
+#[test]
+fn committed_pending_header_rolls_forward() {
+    let pool = crashsim_pool();
+    {
+        let domain = grown_table(&pool, 100);
+        // Forge the committed-pending state the crash enumeration can
+        // only hit probabilistically: CUR already swung to the new
+        // array, NEW not yet cleared.
+        let hdr = pool.root(ROOT) as usize;
+        let cur = pool.atomic_u64(hdr + H_CUR).load(Ordering::Acquire);
+        forge_header_word(&pool, H_NEW, cur);
+        drop(domain);
+    }
+    // SAFETY: no threads are running.
+    unsafe { pool.simulate_crash().unwrap() };
+
+    let domain = NvDomain::attach(Arc::clone(&pool));
+    let ht = HashTable::try_attach(&domain, ROOT, LinkOps::new(Arc::clone(&pool), None))
+        .expect("committed-pending geometry is valid, not torn");
+    assert!(ht.resize_in_flight(), "CUR == NEW reads as a pending resize");
+    let mut flusher = pool.flusher();
+    ht.recover(&mut flusher);
+    let report = domain.recover_leaks(|a| ht.contains_node_at(a));
+    let mut ctx = domain.register();
+    assert!(ht.finish_resize(&mut ctx).unwrap(), "roll-forward clears the pending commit");
+    ctx.drain_all();
+    ht.sweep_orphan_regions(&mut ctx);
+
+    assert!(!ht.resize_in_flight());
+    assert_eq!(ht.n_buckets(), 64);
+    assert_eq!(ht.check_routing(), 0);
+    let mut snap = ht.snapshot();
+    snap.sort_unstable();
+    let expect: Vec<_> = (1..=100u64).map(|k| (k, k * 7)).collect();
+    assert_eq!(snap, expect, "no key lost in roll-forward (leaks: {report:?})");
+    let reachable = ht.collect_reachable();
+    assert_eq!(domain.count_unreachable(|a| reachable.contains(&a)), 0, "zero leaks");
+
+    // The rolled-forward table keeps serving.
+    assert!(ht.insert(&mut ctx, 9999, 1).unwrap());
+    assert_eq!(ht.get(&mut ctx, 9999), Some(1));
+}
+
+#[test]
+fn corrupt_new_array_is_cleanly_rejected() {
+    let pool = crashsim_pool();
+    {
+        let domain = grown_table(&pool, 50);
+        // Forge a NEW word pointing far outside the pool — a torn write
+        // or a foreign root. Low mark bits must stay clear so the word
+        // parses as an address, not as an in-flight dirty update.
+        forge_header_word(&pool, H_NEW, u64::MAX << 3);
+        drop(domain);
+    }
+    // SAFETY: no threads are running.
+    unsafe { pool.simulate_crash().unwrap() };
+
+    let domain = NvDomain::attach(Arc::clone(&pool));
+    let err = HashTable::try_attach(&domain, ROOT, LinkOps::new(Arc::clone(&pool), None))
+        .expect_err("a wild NEW pointer must not be walked");
+    assert!(
+        matches!(err, GeometryError::BadArray { .. }),
+        "expected BadArray for the forged NEW word, got {err:?}"
+    );
+}
+
+#[test]
+fn new_array_with_bogus_bucket_count_is_cleanly_rejected() {
+    let pool = crashsim_pool();
+    {
+        let domain = grown_table(&pool, 50);
+        // Point NEW *inside* the current array: in bounds, but the word
+        // read as `n_buckets` is a bucket link (an address, far from a
+        // plausible power-of-two count) or zero.
+        let hdr = pool.root(ROOT) as usize;
+        let cur = pool.atomic_u64(hdr + H_CUR).load(Ordering::Acquire);
+        forge_header_word(&pool, H_NEW, cur + 8);
+        drop(domain);
+    }
+    // SAFETY: no threads are running.
+    unsafe { pool.simulate_crash().unwrap() };
+
+    let domain = NvDomain::attach(Arc::clone(&pool));
+    let err = HashTable::try_attach(&domain, ROOT, LinkOps::new(Arc::clone(&pool), None))
+        .expect_err("a mis-aimed NEW pointer must not be accepted");
+    assert!(matches!(err, GeometryError::BadArray { .. }), "got {err:?}");
+}

@@ -38,9 +38,11 @@ pub enum MemMode {
     IntentLog,
 }
 
-/// A sealed generation of retired nodes awaiting a safe epoch.
+/// A sealed generation of retired nodes (and whole persistent regions)
+/// awaiting a safe epoch.
 struct Generation {
     nodes: Vec<usize>,
+    regions: Vec<usize>,
     snapshot: EpochVector,
 }
 
@@ -99,6 +101,7 @@ impl NvDomain {
             tlab_misses: 0,
             tlab_refills: 0,
             open_gen: Vec::with_capacity(GENERATION_SIZE),
+            open_regions: Vec::new(),
             pending: VecDeque::new(),
             cur_epoch: 0,
             trim_hook: None,
@@ -264,6 +267,7 @@ pub struct ThreadCtx {
     tlab_misses: u64,
     tlab_refills: u64,
     open_gen: Vec<usize>,
+    open_regions: Vec<usize>,
     pending: VecDeque<Generation>,
     cur_epoch: u64,
     trim_hook: Option<TrimHook>,
@@ -555,18 +559,32 @@ impl ThreadCtx {
         }
     }
 
+    /// Retires a whole persistent region (e.g. a hash table's outgrown
+    /// bucket array) once it has been durably unlinked from the
+    /// structure's root. The region's pages are freed after every
+    /// concurrent operation that could still traverse it has finished —
+    /// the same epoch rule as node retirement, at region granularity.
+    ///
+    /// Regions are rare (one per resize), so the generation is sealed
+    /// immediately rather than waiting for [`GENERATION_SIZE`] nodes.
+    pub fn retire_region(&mut self, data_addr: usize) {
+        self.open_regions.push(data_addr);
+        self.seal_generation();
+    }
+
     /// Seals the open generation (if any) with a snapshot of the epoch
     /// vector.
     pub fn seal_generation(&mut self) {
-        if self.open_gen.is_empty() {
+        if self.open_gen.is_empty() && self.open_regions.is_empty() {
             return;
         }
         // Epoch boundary: hand unused TLAB remainders back so capacity
         // cannot hide behind idle leases while reclamation churns.
         self.retire_tlabs();
         let nodes = std::mem::replace(&mut self.open_gen, Vec::with_capacity(GENERATION_SIZE));
+        let regions = std::mem::take(&mut self.open_regions);
         let snapshot = self.domain.epochs.snapshot();
-        self.pending.push_back(Generation { nodes, snapshot });
+        self.pending.push_back(Generation { nodes, regions, snapshot });
     }
 
     /// Frees every settled pending generation. Called automatically from
@@ -581,6 +599,9 @@ impl ThreadCtx {
             for addr in gen.nodes {
                 self.free_slot(addr);
                 freed += 1;
+            }
+            for region in gen.regions {
+                self.domain.heap.free_region(region, &mut self.flusher);
             }
             // One fence covers the whole batch of bitmap write-backs
             // (§5.3: reclamation waits for all its deallocations at once).
@@ -598,6 +619,9 @@ impl ThreadCtx {
             for addr in gen.nodes {
                 self.free_slot(addr);
                 freed += 1;
+            }
+            for region in gen.regions {
+                self.domain.heap.free_region(region, &mut self.flusher);
             }
         }
         self.flusher.fence();

@@ -346,6 +346,72 @@ impl NvHeap {
         }
     }
 
+    /// Frees a persistent region previously returned by
+    /// [`NvHeap::alloc_region`], identified by its *data* address. The
+    /// region's pages are zeroed (so a future [`NvHeap::attach`] or region
+    /// reuse sees a clean slate), the `REGION_MAGIC` header is erased, and
+    /// every page joins the blank list for reuse by `acquire_page`.
+    ///
+    /// The caller must guarantee no thread can still reach the region —
+    /// in practice the region is retired through an epoch generation
+    /// ([`crate::ThreadCtx::retire_region`]) or freed during
+    /// single-threaded recovery.
+    pub fn free_region(&self, data_addr: usize, flusher: &mut Flusher) {
+        let hdr = data_addr - PAGE_SIZE;
+        debug_assert_eq!(
+            self.pool.atomic_u64(hdr).load(Ordering::Acquire),
+            REGION_MAGIC,
+            "free_region on a non-region address"
+        );
+        let npages = self.pool.atomic_u64(hdr + 8).load(Ordering::Acquire) as usize;
+        if npages == 0 {
+            // A crash tore an earlier free of this region between its
+            // zeroing fence and the magic-clear: the page-count word and
+            // all data pages are durably blank already ([`NvHeap::attach`]
+            // put the data pages on the blank list), only the magic
+            // survives. Roll the free forward — erase the magic and hand
+            // the header page back.
+            self.pool.atomic_u64(hdr).store(0, Ordering::Release);
+            flusher.persist(hdr, 8);
+            self.blank.lock().expect("heap lock").push(hdr);
+            return;
+        }
+        // Zero the whole run (header page included) before erasing the
+        // magic: once the magic is gone a concurrent crash-recovery scan
+        // must find blank pages, not stale bucket words that could alias a
+        // page header.
+        for w in (8..npages * PAGE_SIZE).step_by(8) {
+            self.pool.atomic_u64(hdr + w).store(0, Ordering::Relaxed);
+        }
+        flusher.clwb_range(hdr + 8, npages * PAGE_SIZE - 8);
+        flusher.fence();
+        self.pool.atomic_u64(hdr).store(0, Ordering::Release);
+        flusher.persist(hdr, 8);
+        let mut blank = self.blank.lock().expect("heap lock");
+        for p in 0..npages {
+            blank.push(hdr + p * PAGE_SIZE);
+        }
+    }
+
+    /// Data addresses of all live persistent regions up to the bump
+    /// pointer. Used by the data-structure layer's recovery sweep to free
+    /// regions that lost their last durable reference in a crash.
+    pub fn regions(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut page = data_start(&self.pool);
+        let bump = self.bump();
+        while page < bump {
+            if self.pool.atomic_u64(page).load(Ordering::Acquire) == REGION_MAGIC {
+                let npages = self.pool.atomic_u64(page + 8).load(Ordering::Acquire) as usize;
+                out.push(page + PAGE_SIZE);
+                page += npages.max(1) * PAGE_SIZE;
+                continue;
+            }
+            page += PAGE_SIZE;
+        }
+        out
+    }
+
     /// Iterates over all initialised pages `(page, class)` up to the bump
     /// pointer. Used by recovery audits and tests.
     pub fn pages(&self) -> Vec<(usize, usize)> {

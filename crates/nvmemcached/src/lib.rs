@@ -45,6 +45,16 @@ pub use crate::sharded::{GeometryError, ShardedCtx, ShardedNvMemcached};
 /// Root-directory slot used by the NV-Memcached hash table.
 pub const NVMC_ROOT: usize = 8;
 
+/// Auto-grow threshold: when the (approximate) item count exceeds this
+/// many items per bucket, `set`/`add` kick off an incremental grow.
+/// Memcached's own hash expands at 1.5 items per bucket; chains here are
+/// cheap lock-free lists, so the trigger is laxer.
+const GROW_ITEMS_PER_BUCKET: usize = 8;
+
+/// Auto-grow factor: quadruple the bucket array each time, so repeated
+/// doubling churn is avoided under a steadily filling cache.
+const GROW_FACTOR: usize = 4;
+
 /// The durable cache. One `NvMemcached` is exactly one *shard*: it owns
 /// its pool, allocation domain, hash table and eviction queue, and
 /// [`sharded::ShardedNvMemcached`] composes N of them behind a routing
@@ -80,14 +90,23 @@ impl NvMemcached {
 
     /// Re-attaches to a crashed cache image, repairs the table, and frees
     /// items leaked between allocate/link or unlink/free (the active-slab
-    /// scan of §6.5). Returns the recovery report.
+    /// scan of §6.5). A resize caught in flight by the crash is rolled
+    /// forward to completion before the cache is returned, so callers
+    /// always get a steady-state table. Returns the recovery report.
     pub fn recover(pool: Arc<PmemPool>, capacity: usize) -> (Self, RecoveryReport) {
         let domain = NvDomain::attach(Arc::clone(&pool));
         let ops = LinkOps::new(Arc::clone(&pool), None);
         let table = HashTable::attach(&domain, NVMC_ROOT, ops);
         let mut flusher = pool.flusher();
         table.recover(&mut flusher);
+        // Leak scan before any allocation; the oracle consults both
+        // bucket arrays of a mid-resize image.
         let report = domain.recover_leaks(|addr| table.contains_node_at(addr));
+        let mut ctx = domain.register();
+        table.finish_resize(&mut ctx).expect("recovered pool has room to finish its resize");
+        ctx.drain_all();
+        table.sweep_orphan_regions(&mut ctx);
+        drop(ctx);
         let evict = EvictQueue::rebuild(table.snapshot().iter().map(|&(k, _)| k));
         (Self { domain, table, capacity, evict }, report)
     }
@@ -107,6 +126,42 @@ impl NvMemcached {
         self.evict.len()
     }
 
+    /// Bucket count the table is heading towards (the new array's while a
+    /// resize is in flight, the current array's otherwise).
+    pub fn capacity_hint(&self) -> usize {
+        self.table.capacity_hint()
+    }
+
+    /// Whether a resize is currently in flight on the underlying table.
+    pub fn resize_in_flight(&self) -> bool {
+        self.table.resize_in_flight()
+    }
+
+    /// Starts an incremental grow of the bucket array by `factor`
+    /// (rounded up to a power of two). Returns `Ok(false)` if a resize is
+    /// already in flight. Ops keep serving while the migration proceeds;
+    /// call [`NvMemcached::finish_resize`] to drive it to completion
+    /// eagerly.
+    pub fn grow(&self, ctx: &mut ThreadCtx, factor: usize) -> Result<bool, OutOfMemory> {
+        self.table.grow(ctx, factor)
+    }
+
+    /// Drives any in-flight resize to completion. Returns whether one was
+    /// in flight.
+    pub fn finish_resize(&self, ctx: &mut ThreadCtx) -> Result<bool, OutOfMemory> {
+        self.table.finish_resize(ctx)
+    }
+
+    /// Kicks off a background-style grow when the load factor passes
+    /// [`GROW_ITEMS_PER_BUCKET`]. Best effort: refused while a resize is
+    /// already in flight, and an out-of-memory grow just leaves the table
+    /// denser (the cache still works, chains are merely longer).
+    fn maybe_grow(&self, ctx: &mut ThreadCtx) {
+        if self.evict.len() > self.table.capacity_hint().saturating_mul(GROW_ITEMS_PER_BUCKET) {
+            let _ = self.table.grow(ctx, GROW_FACTOR);
+        }
+    }
+
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -119,6 +174,7 @@ impl NvMemcached {
             if self.table.insert(ctx, key, value)? {
                 self.evict.note_insert(key);
                 self.enforce_capacity(ctx);
+                self.maybe_grow(ctx);
                 return Ok(());
             }
             // Key exists: replace (remove + reinsert; a cache tolerates
@@ -150,6 +206,7 @@ impl NvMemcached {
         if stored {
             self.evict.note_insert(key);
             self.enforce_capacity(ctx);
+            self.maybe_grow(ctx);
         }
         Ok(stored)
     }
@@ -379,6 +436,55 @@ mod tests {
         }
         assert_eq!(mc2.len(), 150);
         // The recovered instance keeps serving.
+        mc2.set(&mut ctx, 9999, 1).unwrap();
+        assert_eq!(mc2.get(&mut ctx, 9999), Some(1));
+    }
+
+    #[test]
+    fn cache_auto_grows_under_load() {
+        let pool = PoolBuilder::new(64 << 20).mode(Mode::Perf).build();
+        let mc = NvMemcached::create(pool, 16, 1_000_000, false).unwrap();
+        let mut ctx = mc.register();
+        assert_eq!(mc.capacity_hint(), 16);
+        for k in 1..=2000u64 {
+            mc.set(&mut ctx, k, k).unwrap();
+        }
+        mc.finish_resize(&mut ctx).unwrap();
+        assert!(
+            mc.capacity_hint() > 16,
+            "load factor triggered a grow (hint = {})",
+            mc.capacity_hint()
+        );
+        for k in 1..=2000u64 {
+            assert_eq!(mc.get(&mut ctx, k), Some(k), "key {k} survived the auto-grow");
+        }
+    }
+
+    #[test]
+    fn crash_mid_grow_recovers_rolled_forward() {
+        let pool =
+            PoolBuilder::new(64 << 20).mode(Mode::CrashSim).latency(LatencyModel::ZERO).build();
+        {
+            let mc = NvMemcached::create(Arc::clone(&pool), 16, 100_000, false).unwrap();
+            let mut ctx = mc.register();
+            for k in 1..=300u64 {
+                mc.set(&mut ctx, k, k * 2).unwrap();
+            }
+            // Either the auto-grow is still migrating or this starts a
+            // fresh one; both ways a resize is now in flight.
+            let _ = mc.grow(&mut ctx, 4).unwrap();
+            assert!(mc.resize_in_flight());
+        }
+        // SAFETY: no threads are running.
+        unsafe { pool.simulate_crash().unwrap() };
+        let (mc2, report) = NvMemcached::recover(Arc::clone(&pool), 100_000);
+        assert!(!report.used_full_scan);
+        assert!(!mc2.resize_in_flight(), "recovery rolled the crashed resize forward");
+        let mut ctx = mc2.register();
+        for k in 1..=300u64 {
+            assert_eq!(mc2.get(&mut ctx, k), Some(k * 2), "key {k} survived the crashed grow");
+        }
+        assert_eq!(mc2.len(), 300);
         mc2.set(&mut ctx, 9999, 1).unwrap();
         assert_eq!(mc2.get(&mut ctx, 9999), Some(1));
     }

@@ -421,6 +421,34 @@ impl ShardedNvMemcached {
         self.shards[s].replace(&mut ctx.ctxs[s], key, value)
     }
 
+    /// Starts an incremental grow of every shard's bucket array by
+    /// `factor` (see [`NvMemcached::grow`]). Each shard migrates
+    /// independently and lazily; operations keep serving throughout.
+    /// Returns how many shards actually started a resize (a shard
+    /// already mid-resize refuses and counts as not started).
+    pub fn grow(&self, ctx: &mut ShardedCtx, factor: usize) -> Result<usize, OutOfMemory> {
+        let mut started = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if shard.grow(&mut ctx.ctxs[i], factor)? {
+                started += 1;
+            }
+        }
+        Ok(started)
+    }
+
+    /// Drives every shard's in-flight resize to completion.
+    pub fn finish_resize(&self, ctx: &mut ShardedCtx) -> Result<(), OutOfMemory> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.finish_resize(&mut ctx.ctxs[i])?;
+        }
+        Ok(())
+    }
+
+    /// Whether any shard has a resize in flight.
+    pub fn resize_in_flight(&self) -> bool {
+        self.shards.iter().any(NvMemcached::resize_in_flight)
+    }
+
     /// Durability barrier over every shard (flushes link-cache residue).
     pub fn quiesce(&self) {
         for shard in self.shards.iter() {
@@ -541,6 +569,33 @@ mod tests {
         assert!(mc.len() <= 100, "soft capacity respected (len = {})", mc.len());
         for shard in mc.shards() {
             assert!(shard.len() <= 25, "per-shard capacity respected");
+        }
+    }
+
+    #[test]
+    fn live_grow_keeps_serving_across_shards() {
+        let pools = pools(4, Mode::Perf);
+        let mc = ShardedNvMemcached::create(&pools, 64, 1_000_000, false).unwrap();
+        let mut ctx = mc.register();
+        for k in 1..=1000u64 {
+            mc.set(&mut ctx, k, k).unwrap();
+        }
+        assert_eq!(mc.grow(&mut ctx, 4).unwrap(), 4, "all 4 shards started a resize");
+        assert!(mc.resize_in_flight());
+        // Every operation keeps serving mid-migration.
+        for k in 1..=1000u64 {
+            assert_eq!(mc.get(&mut ctx, k), Some(k), "key {k} readable during grow");
+        }
+        for k in 1001..=1200u64 {
+            mc.set(&mut ctx, k, k).unwrap();
+        }
+        mc.finish_resize(&mut ctx).unwrap();
+        assert!(!mc.resize_in_flight());
+        for k in 1..=1200u64 {
+            assert_eq!(mc.get(&mut ctx, k), Some(k), "key {k} survived the grow");
+        }
+        for shard in mc.shards() {
+            assert_eq!(shard.capacity_hint(), 256, "4x grow from 64 buckets");
         }
     }
 

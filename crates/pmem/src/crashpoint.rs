@@ -59,10 +59,16 @@ pub enum CrashEvent {
     /// allocator layer via [`crate::Flusher::note_crash_event`]; crashing
     /// here exercises recovery with a half-transferred lease.
     TlabLease = 3,
+    /// A hash-table resize-in-progress word (new-array publish, migration
+    /// cursor advance, commit, or clear) is about to be durably updated.
+    /// Emitted by the data-structure layer via
+    /// [`crate::Flusher::note_crash_event`]; crashing here exercises
+    /// recovery of a half-migrated table.
+    ResizeState = 4,
 }
 
 /// Number of distinct [`CrashEvent`] kinds.
-pub const N_EVENT_KINDS: usize = 4;
+pub const N_EVENT_KINDS: usize = 5;
 
 /// One-shot callback run when the plan's target event is reached.
 pub type CrashHook = Box<dyn FnOnce() + Send>;
@@ -197,10 +203,14 @@ mod tests {
         plan.note(CrashEvent::LinkPublish);
         plan.note(CrashEvent::TlabLease);
         plan.note(CrashEvent::TlabLease);
+        plan.note(CrashEvent::ResizeState);
+        plan.note(CrashEvent::ResizeState);
+        plan.note(CrashEvent::ResizeState);
         assert_eq!(plan.kind_count(CrashEvent::Clwb), 2);
         assert_eq!(plan.kind_count(CrashEvent::Fence), 1);
         assert_eq!(plan.kind_count(CrashEvent::LinkPublish), 1);
         assert_eq!(plan.kind_count(CrashEvent::TlabLease), 2);
+        assert_eq!(plan.kind_count(CrashEvent::ResizeState), 3);
     }
 
     #[test]

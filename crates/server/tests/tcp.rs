@@ -158,6 +158,73 @@ fn concurrent_connections_share_the_cache() {
 }
 
 #[test]
+fn server_keeps_serving_during_live_grow() {
+    // Small bucket arrays so the grow has real migration work to do
+    // while the clients hammer it.
+    let pools: Vec<_> = (0..2)
+        .map(|_| {
+            PoolBuilder::new(32 << 20).mode(Mode::CrashSim).latency(LatencyModel::ZERO).build()
+        })
+        .collect();
+    let cache =
+        Arc::new(ShardedNvMemcached::create(&pools, 64, 1_000_000, true).expect("pool sized"));
+    let server =
+        Server::start(Arc::clone(&cache), ServerConfig { workers: Some(2), ..Default::default() })
+            .expect("bind loopback");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut w = stream;
+
+    for k in 1..=400u64 {
+        let data = (k * 7).to_string();
+        w.write_all(format!("set {k} 0 0 {}\r\n{data}\r\n", data.len()).as_bytes()).unwrap();
+        assert_eq!(read_line(&mut reader), "STORED");
+    }
+
+    // Grow every shard 4x from a direct (in-process) connection while
+    // the TCP client keeps reading and writing mid-migration.
+    let grower = std::thread::spawn({
+        let cache = Arc::clone(&cache);
+        move || {
+            let mut ctx = cache.register();
+            assert_eq!(cache.grow(&mut ctx, 4).expect("pool sized"), 2, "both shards started");
+            cache.finish_resize(&mut ctx).expect("pool sized");
+            // No drain_all here: clients are live, reclamation stays
+            // deferred until their epochs pass.
+        }
+    });
+    for k in 1..=400u64 {
+        let data = (k * 7).to_string();
+        w.write_all(format!("get {k}\r\n").as_bytes()).unwrap();
+        assert_eq!(read_line(&mut reader), format!("VALUE {k} 0 {}", data.len()));
+        assert_eq!(read_line(&mut reader), data);
+        assert_eq!(read_line(&mut reader), "END");
+    }
+    for k in 401..=500u64 {
+        let data = (k * 7).to_string();
+        w.write_all(format!("set {k} 0 0 {}\r\n{data}\r\n", data.len()).as_bytes()).unwrap();
+        assert_eq!(read_line(&mut reader), "STORED");
+    }
+    grower.join().expect("grower thread");
+
+    // Post-grow: everything is still there, over TCP.
+    for k in 1..=500u64 {
+        let data = (k * 7).to_string();
+        w.write_all(format!("get {k}\r\n").as_bytes()).unwrap();
+        assert_eq!(read_line(&mut reader), format!("VALUE {k} 0 {}", data.len()));
+        assert_eq!(read_line(&mut reader), data);
+        assert_eq!(read_line(&mut reader), "END");
+    }
+    drop((w, reader));
+    let cache = server.shutdown();
+    assert!(!cache.resize_in_flight());
+    for shard in cache.shards() {
+        assert_eq!(shard.capacity_hint(), 256, "4x grow from 64 buckets");
+    }
+    assert_eq!(cache.len(), 500);
+}
+
+#[test]
 fn stats_report_shard_topology() {
     let server = Server::start_local(cache(3)).expect("bind loopback");
     let stream = TcpStream::connect(server.local_addr()).expect("connect");
