@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use nvalloc::{AptStats, MemMode, NvDomain};
 use nvmemcached::memtier::{run_cache, Request, RequestStream, RunResult, Workload};
-use nvmemcached::{ClhtMemcached, NvMemcached, ShardedNvMemcached, VolatileMemcached};
+use nvmemcached::{ClhtMemcached, NvMemcached, Router, ShardedNvMemcached, VolatileMemcached};
 use pmem::{LatencyModel, Mode, PmemPool, PoolBuilder, TABLE1};
 
 use workload::KeyDist;
@@ -41,9 +41,10 @@ pub struct ExperimentSpec {
 /// Every experiment of the evaluation, in paper order (Table 1, then
 /// Figures 5–11), plus the beyond-paper shard sweep (`fig12_shards`),
 /// skew sweep (`fig13_skew`), open-loop latency sweep
-/// (`fig14_latency`), live-resize timeline (`fig15_resize`), and
-/// allocator microbenchmark (`alloc_micro`).
-pub fn registry() -> [ExperimentSpec; 14] {
+/// (`fig14_latency`), live-resize timeline (`fig15_resize`),
+/// live-reshard timeline (`fig16_reshard`), and allocator
+/// microbenchmark (`alloc_micro`).
+pub fn registry() -> [ExperimentSpec; 15] {
     [
         ExperimentSpec {
             id: "table1",
@@ -89,6 +90,11 @@ pub fn registry() -> [ExperimentSpec; 14] {
             id: "fig15_resize",
             title: "throughput timeline across a live 4x grow on the sharded cache",
             run: fig15_resize,
+        },
+        ExperimentSpec {
+            id: "fig16_reshard",
+            title: "throughput timeline across a live 2->4 reshard, plus imbalance before/after",
+            run: fig16_reshard,
         },
         ExperimentSpec {
             id: "alloc_micro",
@@ -1254,6 +1260,197 @@ pub fn fig15_resize(cfg: &RunConfig) -> ExperimentReport {
         .metric("resize_ms", (t1 - t0).as_secs_f64() * 1e3)
         .metric("shards", n_shards as f64),
     );
+    report.fill_dist(&cfg.dist.label(), &cfg.value.label());
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Figure 16 (beyond the paper): live reshard timeline
+// ---------------------------------------------------------------------------
+
+/// Figure 16 (beyond the paper): the sharded cache across a **live 2→4
+/// reshard**. Workers hammer the Figure 11 mix while a separate thread
+/// runs the whole elastic-topology state machine — format four fresh
+/// target pools, durably commit the `[OLD][NEW][CURSOR][VERSION]`
+/// record, stream every key to its new home, retire the old pools —
+/// and completed requests are sampled in fixed wall-clock windows, with
+/// every window overlapping `[reshard start, swap done]` marked
+/// `during_reshard`. The claim under test is the elastic-topology
+/// tentpole's: migration is incremental (per-key stripe locks, never a
+/// global pause), so throughput *dips but never hits zero*.
+///
+/// Before/after rows carry the fig13-style max/mean request imbalance
+/// over a fixed-request window — resharding 2→4 under the hash router
+/// must not degrade balance. The whole timeline repeats under the
+/// `range` router as a negative control: range-partitioning this
+/// key space degenerates (every small key routes to shard 0), so its
+/// imbalance pins at the shard count while the hash rows stay near 1 —
+/// the contrast shows the balance comes from the router, not the
+/// reshard machinery.
+pub fn fig16_reshard(cfg: &RunConfig) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig16_reshard",
+        "live 2→4 reshard on the sharded cache: per-window throughput + imbalance",
+        "rows: per-router before/after imbalance + wall-clock windows (fig11 workload, \
+         fixed 100k range); y: requests/s per window; during_reshard=1 marks windows \
+         overlapping the migration; router=range is the degenerate negative control",
+    );
+    // Fixed range across scales (like fig12-fig15) so the CI smoke gate
+    // joins the before/after rows against the committed baseline.
+    let range: u64 = 100_000;
+    let ops = cfg.memtier_ops;
+    let wl = Workload::paper(range, 42).with_dist(cfg.dist).with_value(cfg.value);
+    for router in [Router::Hash, Router::Range] {
+        let rl = match router {
+            Router::Hash => "hash",
+            Router::Range => "range",
+        };
+        let pools = fig12_pools(range, 2);
+        let mc = ShardedNvMemcached::create_with_router(
+            &pools,
+            CREATE_BUCKETS,
+            usize::MAX / 2,
+            true,
+            router,
+        )
+        .expect("pools sized");
+        {
+            let mut ctx = mc.register();
+            for k in wl.warmup_keys() {
+                mc.set(&mut ctx, k, k).expect("pools sized");
+            }
+        }
+        // Phase A: fixed-request window on the old topology — the
+        // imbalance baseline the reshard must not degrade.
+        mc.reset_shard_requests();
+        let before = run_cache(&mc, FIG11_THREADS, ops, wl);
+        let before_imbalance = imbalance(&mc.shard_requests());
+        report.measurements.push(
+            Measurement {
+                structure: Some("sharded-nv-memcached".to_string()),
+                threads: Some(FIG11_THREADS as u64),
+                size: Some(range),
+                median_throughput: Some(before.throughput()),
+                repeat_throughputs: vec![before.throughput()],
+                ..Measurement::new(format!("before reshard router={rl}"))
+            }
+            .metric("shards", 2.0)
+            .metric("topology_version", mc.version() as f64)
+            .metric("get_hit_rate", before.hit_rate())
+            .metric("shard_imbalance", before_imbalance),
+        );
+
+        // Phase B: windowed timeline across the live migration.
+        let window = Duration::from_millis((cfg.measure_ms / 2).max(10));
+        let reshard_after = 2usize; // windows of pre-reshard steady state
+        let tail_windows = 2usize; // windows of post-reshard steady state
+        let max_windows = 24usize;
+        let stop = AtomicBool::new(false);
+        let op_counts: Vec<AtomicU64> = (0..FIG11_THREADS).map(|_| AtomicU64::new(0)).collect();
+        let span: Mutex<Option<(Instant, Instant, nvmemcached::ReshardStats)>> = Mutex::new(None);
+        // Provision the target pools before the workers start: zeroing
+        // four CrashSim arenas under a saturated machine takes seconds
+        // and is the operator's job, not the migration's — the measured
+        // span must cover exactly `reshard()`.
+        let new_pools = fig12_pools(range, 4);
+        let mut windows: Vec<(Instant, Instant, u64)> = Vec::new();
+        std::thread::scope(|s| {
+            let sampler = wl.sampler();
+            for (t, count) in op_counts.iter().enumerate() {
+                let mc = &mc;
+                let stop = &stop;
+                let mut stream = RequestStream::with_sampler(&wl, sampler, t);
+                s.spawn(move || {
+                    let mut ctx = mc.register();
+                    while !stop.load(Ordering::Relaxed) {
+                        match stream.next().expect("infinite stream") {
+                            Request::Set(k, v) => {
+                                mc.set(&mut ctx, k, v).expect("pools sized");
+                            }
+                            Request::Get(k) => {
+                                let _ = mc.get(&mut ctx, k);
+                            }
+                        }
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            let total = || op_counts.iter().map(|c| c.load(Ordering::Relaxed)).sum::<u64>();
+            let mut resharder = None;
+            let mut last = total();
+            let mut windows_after_done = 0usize;
+            for i in 0..max_windows {
+                if i == reshard_after {
+                    let mc = &mc;
+                    let span = &span;
+                    let new_pools = &new_pools;
+                    resharder = Some(s.spawn(move || {
+                        let t0 = Instant::now();
+                        let stats =
+                            mc.reshard(new_pools, CREATE_BUCKETS).expect("fresh target pools");
+                        *span.lock().expect("span cell") = Some((t0, Instant::now(), stats));
+                    }));
+                }
+                let w0 = Instant::now();
+                std::thread::sleep(window);
+                let now = total();
+                windows.push((w0, Instant::now(), now - last));
+                last = now;
+                if span.lock().expect("span cell").is_some() {
+                    windows_after_done += 1;
+                    if windows_after_done > tail_windows {
+                        break;
+                    }
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            resharder
+                .expect("reshard_after < max_windows")
+                .join()
+                .expect("resharder thread panicked");
+        });
+        let (t0, t1, stats) =
+            span.into_inner().expect("span cell").expect("resharder records its span");
+        let run_start = windows.first().expect("at least one window").0;
+        for (i, &(w0, w1, n)) in windows.iter().enumerate() {
+            let secs = (w1 - w0).as_secs_f64();
+            let during = w0 < t1 && t0 < w1;
+            report.measurements.push(
+                Measurement {
+                    structure: Some("sharded-nv-memcached".to_string()),
+                    threads: Some(FIG11_THREADS as u64),
+                    size: Some(range),
+                    median_throughput: Some(n as f64 / secs),
+                    repeat_throughputs: vec![n as f64 / secs],
+                    ..Measurement::new(format!("window={i:02} router={rl}"))
+                }
+                .metric("t_ms", (w0 - run_start).as_secs_f64() * 1e3)
+                .metric("window_ms", secs * 1e3)
+                .metric("during_reshard", u64::from(during) as f64),
+            );
+        }
+
+        // Phase C: fixed-request window on the new topology.
+        mc.reset_shard_requests();
+        let after = run_cache(&mc, FIG11_THREADS, ops, wl);
+        let after_imbalance = imbalance(&mc.shard_requests());
+        report.measurements.push(
+            Measurement {
+                structure: Some("sharded-nv-memcached".to_string()),
+                threads: Some(FIG11_THREADS as u64),
+                size: Some(range),
+                median_throughput: Some(after.throughput()),
+                repeat_throughputs: vec![after.throughput()],
+                ..Measurement::new(format!("after reshard router={rl}"))
+            }
+            .metric("shards", mc.n_shards() as f64)
+            .metric("topology_version", mc.version() as f64)
+            .metric("get_hit_rate", after.hit_rate())
+            .metric("shard_imbalance", after_imbalance)
+            .metric("reshard_ms", (t1 - t0).as_secs_f64() * 1e3)
+            .metric("keys_moved", stats.keys_moved as f64),
+        );
+    }
     report.fill_dist(&cfg.dist.label(), &cfg.value.label());
     report
 }

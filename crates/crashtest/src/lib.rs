@@ -36,8 +36,11 @@
 //! per trace (seeded stratified sampling). See DESIGN.md, "Crash-point
 //! coverage".
 
+#![warn(missing_docs)]
+
 pub mod driver;
 pub mod oracle;
+pub mod reshard;
 pub mod sharded;
 pub mod target;
 pub mod trace;
@@ -47,6 +50,10 @@ pub use driver::{
     TortureReport,
 };
 pub use oracle::{OracleConfig, Violation};
+pub use reshard::{
+    count_reshard_events, reshard_crash_at, run_reshard_crash_points, RESHARD_FROM,
+    RESHARD_STEP_EVERY, RESHARD_TO,
+};
 pub use sharded::{count_sharded_events, run_sharded_crash_points, sharded_crash_at};
 pub use target::{
     BstTarget, CrashTarget, HashTarget, ListTarget, MemcachedTarget, ResizeTarget, SkipTarget,

@@ -240,6 +240,7 @@ pub fn run_sharded_crash_points(cfg: &CrashConfig, n_shards: usize) -> CrashRepo
             count_plan.kind_count(CrashEvent::LinkPublish),
             count_plan.kind_count(CrashEvent::TlabLease),
             count_plan.kind_count(CrashEvent::ResizeState),
+            count_plan.kind_count(CrashEvent::ReshardState),
         ),
         points_tested: points.len(),
         violations,

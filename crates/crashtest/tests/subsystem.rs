@@ -85,6 +85,39 @@ fn sharded_routing_with_odd_shard_count_survives() {
 }
 
 #[test]
+fn live_reshard_survives_every_crash_point() {
+    // The elastic-topology guarantee: a 2→4 reshard starts a third of
+    // the way through the trace and is driven to completion alongside
+    // it, so the enumeration crashes the cache at every event of the
+    // whole state machine — target-pool formatting, the durable
+    // `[OLD][NEW][CURSOR][VERSION]` commit record, every migrated key's
+    // copy-then-delete, every durable cursor advance, the final swap.
+    // Every point must recover (union roll-forward after the commit,
+    // old-pools fallback before it) to the global oracle state with
+    // routing containment and zero leaks.
+    let report = crashtest::run_reshard_crash_points(&cfg());
+    assert!(report.event_kinds.5 > 0, "the schedule produced no reshard-state crash points");
+    report.assert_clean();
+}
+
+#[test]
+fn reshard_count_phase_is_deterministic() {
+    let c = cfg();
+    let (plan_a, spans_a, trace_a) = crashtest::count_reshard_events(&c);
+    let (plan_b, spans_b, trace_b) = crashtest::count_reshard_events(&c);
+    assert_eq!(plan_a.events(), plan_b.events(), "event totals must replay exactly");
+    assert_eq!(spans_a, spans_b, "op spans must replay exactly");
+    assert_eq!(trace_a, trace_b, "traces must regenerate exactly");
+    // Commit plus one advance per old shard: the state word is written
+    // exactly RESHARD_FROM + 1 times.
+    assert_eq!(
+        plan_a.kind_count(pmem::CrashEvent::ReshardState),
+        crashtest::RESHARD_FROM as u64 + 1,
+        "one commit record plus one durable cursor advance per drained shard"
+    );
+}
+
+#[test]
 fn sharded_count_phase_is_deterministic() {
     let c = cfg();
     let (plan_a, spans_a, trace_a) = count_sharded_events(&c, 4);

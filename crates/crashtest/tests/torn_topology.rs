@@ -1,0 +1,157 @@
+//! Recovery fixtures for torn reshard-topology states — the edges of
+//! the `[OLD][NEW][CURSOR][VERSION]` state machine that the random
+//! crash enumeration cannot pin deterministically:
+//!
+//! * **committed-pending** (cursor behind the migration): recovery must
+//!   *roll forward* — re-drain from the recorded cursor (idempotent
+//!   under the new-wins claim) and serve the new topology.
+//! * **torn or foreign state words** (stale version, wild shard counts,
+//!   cursor past the old shard count): recovery must *cleanly reject*
+//!   the union with [`GeometryError::TornReshard`] instead of migrating
+//!   by a record that does not describe the pools in hand.
+//!
+//! The fixtures forge the state word directly (the same idiom as the
+//! torn resize-header fixtures in `torn_geometry.rs`), pinning each
+//! edge deterministically.
+
+use std::sync::Arc;
+
+use nvmemcached::{GeometryError, ShardedNvMemcached, RESHARD_STATE_ROOT};
+use pmem::{LatencyModel, Mode, PmemPool, PoolBuilder};
+
+fn pools(n: usize) -> Vec<Arc<PmemPool>> {
+    (0..n)
+        .map(|_| {
+            PoolBuilder::new(16 << 20).mode(Mode::CrashSim).latency(LatencyModel::ZERO).build()
+        })
+        .collect()
+}
+
+const CAP: usize = 100_000;
+const KEYS: u64 = 400;
+
+/// `[OLD:16][NEW:16][CURSOR:16][VERSION:16]`, the durable layout
+/// documented on `nvmemcached::RESHARD_STATE_ROOT`.
+fn state_word(old: u64, new: u64, cursor: u64, version: u64) -> u64 {
+    (old << 48) | (new << 32) | (cursor << 16) | version
+}
+
+/// Builds a 2-shard cache with `KEYS` keys, runs a full 2→4 reshard,
+/// and returns `(old pools, new pools)` — both groups durable, the
+/// state word reading "complete".
+fn reshard_complete() -> (Vec<Arc<PmemPool>>, Vec<Arc<PmemPool>>) {
+    let old = pools(2);
+    let new = pools(4);
+    let mc = ShardedNvMemcached::create(&old, 64, CAP, false).unwrap();
+    let mut ctx = mc.register();
+    for k in 1..=KEYS {
+        mc.set(&mut ctx, k, k * 7).unwrap();
+    }
+    mc.reshard(&new, 64).unwrap();
+    (old, new)
+}
+
+/// Durably overwrites the reshard state word on old pool 0.
+fn forge_state_word(pool: &Arc<PmemPool>, value: u64) {
+    let mut flusher = pool.flusher();
+    pool.set_root(RESHARD_STATE_ROOT, value, &mut flusher);
+}
+
+fn crash_all(pools: &[Arc<PmemPool>]) {
+    for pool in pools {
+        // SAFETY: no threads are running.
+        unsafe { pool.simulate_crash().unwrap() };
+    }
+}
+
+#[test]
+fn committed_pending_cursor_replays_the_migration_idempotently() {
+    let (old, new) = reshard_complete();
+    // Forge the cursor back to 0: the image now claims no shard was
+    // drained, though every key already sits in its new home. Recovery
+    // must re-drain both shards — a no-op under the new-wins claim —
+    // and converge on the same new topology, no key lost or doubled.
+    forge_state_word(&old[0], state_word(2, 4, 0, 2));
+    let all: Vec<Arc<PmemPool>> = old.iter().chain(&new).cloned().collect();
+    crash_all(&all);
+
+    let (mc, _report) = ShardedNvMemcached::recover(&all, CAP).unwrap();
+    assert_eq!((mc.version(), mc.n_shards()), (2, 4));
+    assert!(!mc.reshard_in_flight());
+    assert_eq!(mc.len(), KEYS as usize, "no key lost or doubled by the replayed migration");
+    let mut ctx = mc.register();
+    for k in 1..=KEYS {
+        assert_eq!(mc.get(&mut ctx, k), Some(k * 7));
+    }
+    for (i, shard) in mc.shards().iter().enumerate() {
+        for (k, _) in shard.snapshot() {
+            assert_eq!(mc.shard_of(k), i, "key {k} in wrong shard after replay");
+        }
+    }
+}
+
+#[test]
+fn half_drained_cursor_rolls_forward_from_the_record() {
+    let (old, new) = reshard_complete();
+    // Cursor 1: shard 0 drained, shard 1 allegedly not. Roll-forward
+    // resumes exactly at the recorded cursor.
+    forge_state_word(&old[0], state_word(2, 4, 1, 2));
+    let all: Vec<Arc<PmemPool>> = old.iter().chain(&new).cloned().collect();
+    crash_all(&all);
+
+    let (mc, _) = ShardedNvMemcached::recover(&all, CAP).unwrap();
+    assert_eq!((mc.version(), mc.n_shards()), (2, 4));
+    assert_eq!(mc.len(), KEYS as usize);
+}
+
+#[test]
+fn stale_version_state_word_is_rejected() {
+    let (old, new) = reshard_complete();
+    // A state word whose version does not name the younger geometry
+    // generation in hand: a leftover from some earlier life of the
+    // pools. Migrating by it would drain into the wrong group.
+    forge_state_word(&old[0], state_word(2, 4, 2, 7));
+    let all: Vec<Arc<PmemPool>> = old.iter().chain(&new).cloned().collect();
+    crash_all(&all);
+
+    let err = ShardedNvMemcached::recover(&all, CAP).unwrap_err();
+    assert_eq!(err, GeometryError::TornReshard { old: 2, new: 4, cursor: 2, version: 7 });
+}
+
+#[test]
+fn wild_shard_counts_are_rejected() {
+    let (old, new) = reshard_complete();
+    // Counts that match no group in hand — a torn write or a foreign
+    // record. 2 + 4 pools are present, the word claims 57 → 3.
+    forge_state_word(&old[0], state_word(57, 3, 1, 2));
+    let all: Vec<Arc<PmemPool>> = old.iter().chain(&new).cloned().collect();
+    crash_all(&all);
+
+    let err = ShardedNvMemcached::recover(&all, CAP).unwrap_err();
+    assert_eq!(err, GeometryError::TornReshard { old: 57, new: 3, cursor: 1, version: 2 });
+}
+
+#[test]
+fn cursor_past_the_old_shard_count_is_rejected() {
+    let (old, new) = reshard_complete();
+    forge_state_word(&old[0], state_word(2, 4, 9, 2));
+    let all: Vec<Arc<PmemPool>> = old.iter().chain(&new).cloned().collect();
+    crash_all(&all);
+
+    let err = ShardedNvMemcached::recover(&all, CAP).unwrap_err();
+    assert_eq!(err, GeometryError::TornReshard { old: 2, new: 4, cursor: 9, version: 2 });
+}
+
+#[test]
+fn zeroed_state_word_means_uncommitted() {
+    let (old, new) = reshard_complete();
+    // Both geometry generations durable but no commit record at all:
+    // recovery must refuse the union (the old group alone is the
+    // authoritative cache — the formatted targets were never adopted).
+    forge_state_word(&old[0], 0);
+    let all: Vec<Arc<PmemPool>> = old.iter().chain(&new).cloned().collect();
+    crash_all(&all);
+
+    let err = ShardedNvMemcached::recover(&all, CAP).unwrap_err();
+    assert_eq!(err, GeometryError::Uncommitted { version: 2 });
+}

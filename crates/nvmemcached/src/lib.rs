@@ -24,8 +24,11 @@
 //! 8 bytes as in the paper's data-structure experiments (§6.1); larger
 //! values are accommodated by indirection, as the paper notes.
 
+#![warn(missing_docs)]
+
 pub mod evict;
 pub mod memtier;
+pub mod reshard;
 pub mod sharded;
 
 use std::collections::HashMap;
@@ -40,7 +43,10 @@ use pmem::{Flusher, PmemPool};
 use crate::evict::EvictQueue;
 use crate::memtier::{MemtierCache, ReqOutcome, Request};
 
-pub use crate::sharded::{GeometryError, ShardedCtx, ShardedNvMemcached};
+pub use crate::reshard::{
+    ReshardError, ReshardProgress, ReshardStats, TopologyStats, RESHARD_STATE_ROOT,
+};
+pub use crate::sharded::{GeometryError, Router, ShardedCtx, ShardedNvMemcached};
 
 /// Root-directory slot used by the NV-Memcached hash table.
 pub const NVMC_ROOT: usize = 8;

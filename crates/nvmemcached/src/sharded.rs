@@ -1,11 +1,12 @@
 //! **Sharded NV-Memcached**: N independent [`NvMemcached`] shards behind
-//! a routing hash.
+//! a routing function, with a **live reshard** that changes N without
+//! downtime.
 //!
 //! Real memcached deployments scale by partitioning; the durable cache
 //! partitions the same way. Each shard owns its *own* [`PmemPool`],
 //! [`nvalloc::NvDomain`], hash table and eviction queue, so shards share
 //! no memory, no locks and no durable state — the only cross-shard
-//! coupling is the volatile routing function [`shard_of`]. That
+//! coupling is the volatile routing function ([`Router`]). That
 //! independence buys three things:
 //!
 //! * **Throughput**: the per-shard eviction-queue mutex, heap page lists,
@@ -23,14 +24,28 @@
 //!
 //! # Durable geometry
 //!
-//! Each shard's pool records `(cache_id, shard_count, shard_index)` in
-//! root slot [`SHARD_GEOMETRY_ROOT`], durably written at creation (the
-//! cache id ties every pool to the `create` call that formatted it).
-//! [`ShardedNvMemcached::recover`] validates the recorded geometry against
-//! the pools it is given *before* touching any data — opening with the
-//! wrong pool count, pools mixed in from a different cache, or pools in
-//! the wrong order fails with a [`GeometryError`] instead of serving
-//! scrambled routing.
+//! Each shard's pool records `(cache_id, router, version, shard_count,
+//! shard_index)` in root slot [`SHARD_GEOMETRY_ROOT`], durably written at
+//! creation (the cache id ties every pool to the `create` call that
+//! formatted it; the version stamps which *topology generation* the pool
+//! belongs to). [`ShardedNvMemcached::recover`] validates the recorded
+//! geometry against the pools it is given *before* touching any data —
+//! opening with the wrong pool count, pools mixed in from a different
+//! cache, or pools in the wrong order fails with a [`GeometryError`]
+//! instead of serving scrambled routing.
+//!
+//! # Elastic topology
+//!
+//! [`ShardedNvMemcached::reshard`] migrates the cache from its N current
+//! shards to N' freshly formatted shard pools *while continuing to serve
+//! traffic*. The migration reuses the copy-then-delete discipline of
+//! `logfree::hash::resize` one level up — keys are copied into their new
+//! home shard and then deleted from the old one, a durable per-shard
+//! **cursor** in the reshard state word (root slot
+//! [`crate::reshard::RESHARD_STATE_ROOT`] of old pool 0) records which
+//! old shards are fully drained, and `recover()` rolls a half-migrated
+//! topology forward to the new version. See [`crate::reshard`] for the
+//! state machine and the routing rules in flight.
 //!
 //! `ShardedNvMemcached` over a single shard is behaviorally identical to
 //! a standalone [`NvMemcached`] (the shard *is* an `NvMemcached`; with
@@ -41,15 +56,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nvalloc::{OutOfMemory, RecoveryReport, ThreadCtx};
+use parking_lot::Mutex;
 use pmem::{FlushStats, PmemPool};
 
 use crate::memtier::{MemtierCache, ReqOutcome, Request};
+use crate::reshard::{self, Flight};
 use crate::NvMemcached;
 
-/// Root-directory slot recording `(shard_count, shard_index)` in every
-/// shard pool (distinct from [`crate::NVMC_ROOT`], which anchors the
-/// shard's hash table).
+/// Root-directory slot recording the shard geometry word in every shard
+/// pool (distinct from [`crate::NVMC_ROOT`], which anchors the shard's
+/// hash table).
 pub const SHARD_GEOMETRY_ROOT: usize = 9;
+
+/// Maximum shard count a geometry word can record (12-bit field).
+pub const MAX_SHARDS: usize = (1 << 12) - 1;
+
+/// Maximum topology version a geometry word can record (16-bit field).
+pub(crate) const MAX_VERSION: u32 = u16::MAX as u32;
 
 /// Routes `key` to a shard index in `0..n_shards`.
 ///
@@ -66,6 +89,47 @@ pub fn shard_of(key: u64, n_shards: usize) -> usize {
     (x % n_shards.max(1) as u64) as usize
 }
 
+/// The key-to-shard routing function, recorded durably in the geometry
+/// word (routing must survive recovery, or a reopened cache would look
+/// for keys in the wrong shards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Router {
+    /// splitmix64 finalizer over the key ([`shard_of`]) — the default;
+    /// spreads any key distribution uniformly.
+    Hash,
+    /// Contiguous range partition of the full `u64` key space
+    /// (multiply-shift). The benchmark's **negative control**: real
+    /// workloads draw small keys, which all land in shard 0, so the
+    /// imbalance a reshard is supposed to fix never improves.
+    Range,
+}
+
+impl Router {
+    /// Routes `key` to a shard index in `0..n_shards`.
+    #[inline]
+    pub fn route(self, key: u64, n_shards: usize) -> usize {
+        match self {
+            Router::Hash => shard_of(key, n_shards),
+            Router::Range => ((key as u128 * n_shards.max(1) as u128) >> 64) as usize,
+        }
+    }
+
+    fn bit(self) -> u64 {
+        match self {
+            Router::Hash => 0,
+            Router::Range => 1,
+        }
+    }
+
+    fn from_bit(b: u64) -> Self {
+        if b == 0 {
+            Router::Hash
+        } else {
+            Router::Range
+        }
+    }
+}
+
 /// Why a set of pools was rejected by [`ShardedNvMemcached::recover`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GeometryError {
@@ -79,13 +143,13 @@ pub enum GeometryError {
         position: usize,
     },
     /// The pool at `position` records a different shard count than the
-    /// number of pools given.
+    /// number of same-version pools given.
     ShardCount {
         /// Index of the offending pool in the given slice.
         position: usize,
         /// The shard count durably recorded in that pool.
         recorded: u32,
-        /// The number of pools actually given.
+        /// The number of same-version pools actually given.
         given: usize,
     },
     /// The pool at `position` records a different shard index — the
@@ -109,6 +173,52 @@ pub enum GeometryError {
         /// Cache id recorded in this pool.
         found: u32,
     },
+    /// The pool at `position` records a different routing function than
+    /// pool 0.
+    RouterMismatch {
+        /// Index of the offending pool in the given slice.
+        position: usize,
+    },
+    /// The pools span more than two topology versions, or two versions
+    /// that are not adjacent — no single reshard connects them, so no
+    /// roll-forward is possible.
+    VersionSkew {
+        /// Lowest version seen.
+        lo: u32,
+        /// Highest version seen.
+        hi: u32,
+    },
+    /// Pools of two adjacent versions were given, but the old group's
+    /// reshard state word is absent: the reshard to `version` never
+    /// committed, so the newer pools hold no owed data. Recover with the
+    /// old-version pools only.
+    Uncommitted {
+        /// Version of the never-committed topology.
+        version: u32,
+    },
+    /// The durable reshard state word does not describe the given pools
+    /// (torn write, or pools mixed in from a different reshard). The
+    /// fields are the word as recorded.
+    TornReshard {
+        /// Old shard count recorded in the state word.
+        old: u32,
+        /// New shard count recorded in the state word.
+        new: u32,
+        /// Migration cursor recorded in the state word.
+        cursor: u32,
+        /// Target topology version recorded in the state word.
+        version: u32,
+    },
+    /// A committed reshard to `version` is recorded, but the pools of
+    /// that topology were not given — the data (partially or fully)
+    /// lives in the absent pools, so these pools alone are not the
+    /// authoritative cache.
+    MissingShards {
+        /// Target version of the committed reshard.
+        version: u32,
+        /// Shard count of the absent topology.
+        expected: u32,
+    },
 }
 
 impl std::fmt::Display for GeometryError {
@@ -131,26 +241,71 @@ impl std::fmt::Display for GeometryError {
                 "pool {position} records cache id {found:#x} but pool 0 records {expected:#x} \
                  (pools from different sharded caches)"
             ),
+            GeometryError::RouterMismatch { position } => {
+                write!(f, "pool {position} records a different routing function than pool 0")
+            }
+            GeometryError::VersionSkew { lo, hi } => write!(
+                f,
+                "pools span topology versions {lo}..={hi}, which no single reshard connects"
+            ),
+            GeometryError::Uncommitted { version } => write!(
+                f,
+                "pools of version {version} were formatted but the reshard never committed; \
+                 recover with the old-version pools only"
+            ),
+            GeometryError::TornReshard { old, new, cursor, version } => write!(
+                f,
+                "reshard state word [old={old} new={new} cursor={cursor} version={version}] \
+                 does not describe the given pools (torn topology)"
+            ),
+            GeometryError::MissingShards { version, expected } => write!(
+                f,
+                "a committed reshard to version {version} ({expected} shard(s)) is recorded \
+                 but those pools were not given"
+            ),
         }
     }
 }
 
 impl std::error::Error for GeometryError {}
 
-/// Geometry word layout: `[cache_id:32][shard_count:16][shard_index:16]`.
+/// Geometry word layout:
+/// `[cache_id:23][router:1][version:16][shard_count:12][shard_index:12]`.
 /// The cache id ties a pool to the `create` call that formatted it, so
 /// pools from two different caches with the same `(count, index)` layout
 /// cannot be mixed; ids are never zero, so a valid word is never zero.
-fn pack_geometry(cache_id: u32, count: usize, index: usize) -> u64 {
-    assert!(count <= u16::MAX as usize, "shard count {count} exceeds the geometry word");
-    ((cache_id as u64) << 32) | ((count as u64) << 16) | index as u64
+/// The version stamps the topology generation the pool belongs to
+/// (`create` writes 1; each committed reshard formats its new pools with
+/// the next version).
+pub(crate) fn pack_geometry(
+    cache_id: u32,
+    router: Router,
+    version: u32,
+    count: usize,
+    index: usize,
+) -> u64 {
+    assert!(count <= MAX_SHARDS, "shard count {count} exceeds the geometry word");
+    assert!(version <= MAX_VERSION, "topology version {version} exceeds the geometry word");
+    assert!(cache_id < (1 << 23) && cache_id != 0, "cache id out of range");
+    ((cache_id as u64) << 41)
+        | (router.bit() << 40)
+        | ((version as u64) << 24)
+        | ((count as u64) << 12)
+        | index as u64
 }
 
-fn unpack_geometry(word: u64) -> (u32, u32, u32) {
-    ((word >> 32) as u32, ((word >> 16) & 0xFFFF) as u32, (word & 0xFFFF) as u32)
+/// `(cache_id, router, version, count, index)` from a geometry word.
+pub(crate) fn unpack_geometry(word: u64) -> (u32, Router, u32, u32, u32) {
+    (
+        (word >> 41) as u32,
+        Router::from_bit((word >> 40) & 1),
+        ((word >> 24) & 0xFFFF) as u32,
+        ((word >> 12) & 0xFFF) as u32,
+        (word & 0xFFF) as u32,
+    )
 }
 
-/// A fresh (non-zero, process-unique, time-salted) cache id.
+/// A fresh (non-zero, process-unique, time-salted) 23-bit cache id.
 fn fresh_cache_id() -> u32 {
     use std::sync::atomic::AtomicU32;
     static NEXT: AtomicU32 = AtomicU32::new(1);
@@ -162,7 +317,7 @@ fn fresh_cache_id() -> u32 {
     let mut x = nanos ^ (salt << 32) ^ salt;
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    (((x >> 32) ^ x) as u32).max(1)
+    ((((x >> 32) ^ x) as u32) & ((1 << 23) - 1)).max(1)
 }
 
 /// One shard's aggregated request tally, padded to its own cache line
@@ -171,22 +326,51 @@ fn fresh_cache_id() -> u32 {
 /// plain per-connection `u64`s ([`ShardedCtx`]), so the tally adds no
 /// shared-memory traffic to the requests being measured.
 #[repr(align(128))]
-struct ShardTally(AtomicU64);
+pub(crate) struct ShardTally(pub(crate) AtomicU64);
 
-/// The durable cache, partitioned into independent shards.
-pub struct ShardedNvMemcached {
-    shards: Box<[NvMemcached]>,
+pub(crate) fn new_tallies(n: usize) -> Arc<[ShardTally]> {
+    (0..n).map(|_| ShardTally(AtomicU64::new(0))).collect()
+}
+
+/// One immutable topology generation: the serving shards, their request
+/// tallies, and (while a reshard is migrating) the in-flight target. A
+/// new `Arc<Topology>` is published for every change; connections pin the
+/// generation they registered against ([`ShardedCtx`]), so retiring old
+/// shards is epoch-safe — the old generation's memory is dropped only
+/// when the last connection that could still route into it refreshes or
+/// disconnects.
+pub(crate) struct Topology {
+    pub(crate) version: u32,
+    pub(crate) router: Router,
+    pub(crate) shards: Arc<[NvMemcached]>,
     /// Volatile per-shard request tally (every routed `set`/`get`/
     /// `delete`/`add`/`replace`), the basis of the skew experiments'
     /// imbalance metric. Accumulated per connection and flushed when the
     /// connection drops. Not persisted; recovery starts from zero.
-    requests: Arc<[ShardTally]>,
+    pub(crate) requests: Arc<[ShardTally]>,
+    pub(crate) flight: Option<Arc<Flight>>,
+}
+
+/// The durable cache, partitioned into independent shards.
+pub struct ShardedNvMemcached {
+    pub(crate) topology: Mutex<Arc<Topology>>,
+    /// Bumped on every topology change (reshard start / completion);
+    /// connections compare it against their pinned generation and
+    /// re-register when stale. One relaxed-load-free `Acquire` read per
+    /// operation.
+    pub(crate) gen: AtomicU64,
+    pub(crate) cache_id: u32,
+    pub(crate) capacity: usize,
+    pub(crate) use_link_cache: bool,
 }
 
 impl std::fmt::Debug for ShardedNvMemcached {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let top = self.topology();
         f.debug_struct("ShardedNvMemcached")
-            .field("n_shards", &self.shards.len())
+            .field("n_shards", &top.shards.len())
+            .field("version", &top.version)
+            .field("reshard_in_flight", &top.flight.is_some())
             .field("len", &self.len())
             .finish()
     }
@@ -197,25 +381,33 @@ impl std::fmt::Debug for ShardedNvMemcached {
 /// tallies — counted without any shared-memory traffic and flushed into
 /// the cache-wide counters when the connection drops. Create via
 /// [`ShardedNvMemcached::register`].
+///
+/// The context *pins* the topology generation it registered against.
+/// Operations detect a topology change (reshard start or completion) with
+/// one atomic load and transparently re-register; a context that never
+/// runs another operation keeps the old generation's shards alive until
+/// it is dropped, which is exactly what makes old-shard retirement safe
+/// against concurrent readers.
 pub struct ShardedCtx {
-    ctxs: Box<[ThreadCtx]>,
-    tallies: Box<[u64]>,
-    shared: Arc<[ShardTally]>,
+    pub(crate) top: Arc<Topology>,
+    pub(crate) gen: u64,
+    pub(crate) ctxs: Box<[ThreadCtx]>,
+    /// Contexts for the in-flight target shards (empty when no reshard is
+    /// migrating).
+    pub(crate) new_ctxs: Box<[ThreadCtx]>,
+    pub(crate) tallies: Box<[u64]>,
+    pub(crate) new_tallies: Box<[u64]>,
 }
 
 impl Drop for ShardedCtx {
     fn drop(&mut self) {
-        for (tally, shared) in self.tallies.iter().zip(self.shared.iter()) {
-            if *tally > 0 {
-                shared.0.fetch_add(*tally, Ordering::Relaxed);
-            }
-        }
+        self.flush_tallies();
     }
 }
 
 impl ShardedCtx {
-    /// The context registered with shard `i` (for direct shard access in
-    /// tests and recovery tooling).
+    /// The context registered with shard `i` of the pinned topology (for
+    /// direct shard access in tests and recovery tooling).
     pub fn shard_ctx(&mut self, i: usize) -> &mut ThreadCtx {
         &mut self.ctxs[i]
     }
@@ -223,8 +415,27 @@ impl ShardedCtx {
     /// Drains every shard context's deferred reclamation. Only safe when
     /// no other worker is running operations (shutdown/tests).
     pub fn drain_all(&mut self) {
-        for ctx in self.ctxs.iter_mut() {
+        for ctx in self.ctxs.iter_mut().chain(self.new_ctxs.iter_mut()) {
             ctx.drain_all();
+        }
+    }
+
+    /// Flushes this connection's request tallies into the pinned
+    /// topology's shared counters.
+    fn flush_tallies(&mut self) {
+        for (tally, shared) in self.tallies.iter_mut().zip(self.top.requests.iter()) {
+            if *tally > 0 {
+                shared.0.fetch_add(*tally, Ordering::Relaxed);
+                *tally = 0;
+            }
+        }
+        if let Some(f) = &self.top.flight {
+            for (tally, shared) in self.new_tallies.iter_mut().zip(f.new_requests.iter()) {
+                if *tally > 0 {
+                    shared.0.fetch_add(*tally, Ordering::Relaxed);
+                    *tally = 0;
+                }
+            }
         }
     }
 }
@@ -239,7 +450,21 @@ impl ShardedNvMemcached {
         capacity: usize,
         use_link_cache: bool,
     ) -> Result<Self, OutOfMemory> {
+        Self::create_with_router(pools, n_buckets, capacity, use_link_cache, Router::Hash)
+    }
+
+    /// [`ShardedNvMemcached::create`] with an explicit routing function
+    /// (the benchmark's range-partition negative control uses
+    /// [`Router::Range`]).
+    pub fn create_with_router(
+        pools: &[Arc<PmemPool>],
+        n_buckets: usize,
+        capacity: usize,
+        use_link_cache: bool,
+        router: Router,
+    ) -> Result<Self, OutOfMemory> {
         assert!(!pools.is_empty(), "a sharded cache needs at least one pool");
+        assert!(pools.len() <= MAX_SHARDS, "at most {MAX_SHARDS} shards");
         let n = pools.len();
         let cache_id = fresh_cache_id();
         let per_shard_capacity = capacity.div_ceil(n);
@@ -252,35 +477,76 @@ impl ShardedNvMemcached {
                 use_link_cache,
             )?;
             let mut flusher = pool.flusher();
-            pool.set_root(SHARD_GEOMETRY_ROOT, pack_geometry(cache_id, n, i), &mut flusher);
+            pool.set_root(
+                SHARD_GEOMETRY_ROOT,
+                pack_geometry(cache_id, router, 1, n, i),
+                &mut flusher,
+            );
             shards.push(shard);
         }
-        Ok(Self::from_shards(shards))
+        Ok(Self::assemble(shards, 1, router, cache_id, capacity, use_link_cache))
     }
 
-    fn from_shards(shards: Vec<NvMemcached>) -> Self {
-        let requests: Arc<[ShardTally]> =
-            (0..shards.len()).map(|_| ShardTally(AtomicU64::new(0))).collect();
-        Self { shards: shards.into_boxed_slice(), requests }
+    pub(crate) fn assemble(
+        shards: Vec<NvMemcached>,
+        version: u32,
+        router: Router,
+        cache_id: u32,
+        capacity: usize,
+        use_link_cache: bool,
+    ) -> Self {
+        let requests = new_tallies(shards.len());
+        let topology = Topology { version, router, shards: shards.into(), requests, flight: None };
+        Self {
+            topology: Mutex::new(Arc::new(topology)),
+            gen: AtomicU64::new(0),
+            cache_id,
+            capacity,
+            use_link_cache,
+        }
     }
 
-    /// Validates the durable shard geometry of `pools` without recovering
-    /// anything: every pool must record this exact `(count, position)`
-    /// layout.
+    /// The current topology (cheap Arc clone under a short mutex).
+    pub(crate) fn topology(&self) -> Arc<Topology> {
+        Arc::clone(&self.topology.lock())
+    }
+
+    /// Validates the durable shard geometry of `pools` as one coherent
+    /// single-version topology, without recovering anything: every pool
+    /// must record this exact `(count, position)` layout. Mid-reshard
+    /// pool sets (two adjacent versions) are handled by
+    /// [`ShardedNvMemcached::recover`] instead.
     pub fn validate_geometry(pools: &[Arc<PmemPool>]) -> Result<(), GeometryError> {
+        Self::parse_single_version(pools).map(|_| ())
+    }
+
+    /// Parses and positionally validates a single-version pool set,
+    /// returning `(cache_id, router, version)`.
+    fn parse_single_version(pools: &[Arc<PmemPool>]) -> Result<(u32, Router, u32), GeometryError> {
         if pools.is_empty() {
             return Err(GeometryError::NoPools);
         }
-        let mut expected_id = None;
+        let mut expected: Option<(u32, Router, u32)> = None;
         for (position, pool) in pools.iter().enumerate() {
             let word = pool.root(SHARD_GEOMETRY_ROOT);
             if word == 0 {
                 return Err(GeometryError::NotSharded { position });
             }
-            let (cache_id, count, index) = unpack_geometry(word);
-            let expected = *expected_id.get_or_insert(cache_id);
-            if cache_id != expected {
-                return Err(GeometryError::CacheMismatch { position, expected, found: cache_id });
+            let (cache_id, router, version, count, index) = unpack_geometry(word);
+            let (eid, erouter, eversion) = *expected.get_or_insert((cache_id, router, version));
+            if cache_id != eid {
+                return Err(GeometryError::CacheMismatch {
+                    position,
+                    expected: eid,
+                    found: cache_id,
+                });
+            }
+            if router != erouter {
+                return Err(GeometryError::RouterMismatch { position });
+            }
+            if version != eversion {
+                let (lo, hi) = (version.min(eversion), version.max(eversion));
+                return Err(GeometryError::VersionSkew { lo, hi });
             }
             if count as usize != pools.len() {
                 return Err(GeometryError::ShardCount {
@@ -293,7 +559,8 @@ impl ShardedNvMemcached {
                 return Err(GeometryError::ShardIndex { position, recorded: index });
             }
         }
-        Ok(())
+        let (id, router, version) = expected.expect("pools is non-empty");
+        Ok((id, router, version))
     }
 
     /// Re-attaches to a crashed sharded cache: validates the recorded
@@ -301,12 +568,32 @@ impl ShardedNvMemcached {
     /// parallel** (one thread per shard — each repairs its table and
     /// reclaims its leaks independently) and merges the per-shard
     /// [`RecoveryReport`]s into one aggregate.
+    ///
+    /// If the pools span **two adjacent topology versions** — a crash hit
+    /// mid-reshard — the committed reshard state word of the old group is
+    /// validated ([`GeometryError::TornReshard`] on mismatch,
+    /// [`GeometryError::Uncommitted`] if the reshard never committed) and
+    /// the migration is **rolled forward**: every shard recovers first,
+    /// then the remaining old shards are drained into the new topology
+    /// (keys already copied win by the *new-wins* rule, so a torn copy
+    /// can never resurrect a stale value), the durable cursor advancing
+    /// shard by shard exactly as in the live path. The returned cache
+    /// serves the new topology at a single consistent version.
     pub fn recover(
         pools: &[Arc<PmemPool>],
         capacity: usize,
     ) -> Result<(Self, RecoveryReport), GeometryError> {
-        Self::validate_geometry(pools)?;
-        let per_shard_capacity = capacity.div_ceil(pools.len());
+        reshard::recover_versioned(pools, capacity)
+    }
+
+    /// Recovers every pool of one already-validated single-version group
+    /// in parallel. Shared by the plain and the roll-forward recovery
+    /// paths.
+    pub(crate) fn recover_group(
+        pools: &[Arc<PmemPool>],
+        capacity: usize,
+    ) -> (Vec<NvMemcached>, RecoveryReport) {
+        let per_shard_capacity = capacity.div_ceil(pools.len().max(1));
         let recovered: Vec<(NvMemcached, RecoveryReport)> = std::thread::scope(|s| {
             let handles: Vec<_> = pools
                 .iter()
@@ -323,42 +610,47 @@ impl ShardedNvMemcached {
             report.merge(shard_report);
             shards.push(shard);
         }
-        Ok((Self::from_shards(shards), report))
+        (shards, report)
     }
 
-    /// Number of shards.
+    /// Number of serving shards (the new count once a reshard completes).
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        self.topology().shards.len()
     }
 
-    /// The shards themselves (crashtest oracles address them directly).
-    pub fn shards(&self) -> &[NvMemcached] {
-        &self.shards
+    /// Current topology version (1 at `create`; +1 per completed
+    /// reshard).
+    pub fn version(&self) -> u32 {
+        self.topology().version
     }
 
-    /// The shard `key` routes to.
+    /// The routing function.
+    pub fn router(&self) -> Router {
+        self.topology().router
+    }
+
+    /// The serving shards themselves (crashtest oracles address them
+    /// directly). An `Arc` snapshot: a concurrent reshard completion
+    /// cannot free shards out from under the caller.
+    pub fn shards(&self) -> Arc<[NvMemcached]> {
+        Arc::clone(&self.topology().shards)
+    }
+
+    /// The shard `key` routes to in the current topology.
     pub fn shard_of(&self, key: u64) -> usize {
-        shard_of(key, self.shards.len())
+        let top = self.topology();
+        top.router.route(key, top.shards.len())
     }
 
-    /// Routes `key` and tallies the request against its shard — a plain
-    /// per-connection increment, so the accounting adds no shared-memory
-    /// traffic to the hot path it measures.
-    #[inline]
-    fn route(&self, ctx: &mut ShardedCtx, key: u64) -> usize {
-        let s = self.shard_of(key);
-        ctx.tallies[s] += 1;
-        s
-    }
-
-    /// Requests routed to each shard since creation/recovery (or the
-    /// last [`ShardedNvMemcached::reset_shard_requests`]). Volatile
+    /// Requests routed to each shard of the current topology since
+    /// creation/recovery/reshard completion (or the last
+    /// [`ShardedNvMemcached::reset_shard_requests`]). Volatile
     /// observability only — skewed traffic shows up as imbalance here.
     /// Connections flush their tallies on drop, so read this after the
     /// worker connections of interest have been dropped (a joined run's
     /// workers always have).
     pub fn shard_requests(&self) -> Vec<u64> {
-        self.requests.iter().map(|c| c.0.load(Ordering::Relaxed)).collect()
+        self.topology().requests.iter().map(|c| c.0.load(Ordering::Relaxed)).collect()
     }
 
     /// Zeroes the per-shard request tallies (e.g. after warm-up, so a
@@ -366,23 +658,54 @@ impl ShardedNvMemcached {
     /// unflushed counts are not affected — reset while no connection
     /// holds unflushed tallies.
     pub fn reset_shard_requests(&self) {
-        for c in self.requests.iter() {
+        let top = self.topology();
+        for c in top.requests.iter() {
             c.0.store(0, Ordering::Relaxed);
         }
-    }
-
-    /// Registers the calling worker thread with every shard.
-    pub fn register(&self) -> ShardedCtx {
-        ShardedCtx {
-            ctxs: self.shards.iter().map(NvMemcached::register).collect(),
-            tallies: vec![0; self.shards.len()].into_boxed_slice(),
-            shared: Arc::clone(&self.requests),
+        if let Some(f) = &top.flight {
+            for c in f.new_requests.iter() {
+                c.0.store(0, Ordering::Relaxed);
+            }
         }
     }
 
-    /// Total (approximate) item count over all shards.
+    /// Registers the calling worker thread with every shard of the
+    /// current topology (and, mid-reshard, with every target shard).
+    pub fn register(&self) -> ShardedCtx {
+        // Read the generation *before* snapshotting the topology: if a
+        // change lands between the two loads the pinned gen is stale and
+        // the first operation re-registers — never the reverse.
+        let gen = self.gen.load(Ordering::Acquire);
+        let top = self.topology();
+        let ctxs: Box<[ThreadCtx]> = top.shards.iter().map(NvMemcached::register).collect();
+        let tallies = vec![0; top.shards.len()].into_boxed_slice();
+        let (new_ctxs, new_tallies) = match &top.flight {
+            Some(f) => (
+                f.new_shards.iter().map(NvMemcached::register).collect(),
+                vec![0; f.new_shards.len()].into_boxed_slice(),
+            ),
+            None => (Box::from([]), Box::from([])),
+        };
+        ShardedCtx { top, gen, ctxs, new_ctxs, tallies, new_tallies }
+    }
+
+    /// Re-registers `ctx` if the topology changed since it was pinned.
+    #[inline]
+    fn refresh(&self, ctx: &mut ShardedCtx) {
+        if ctx.gen != self.gen.load(Ordering::Acquire) {
+            *ctx = self.register();
+        }
+    }
+
+    /// Total (approximate) item count over all shards (old and, mid-
+    /// reshard, new).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(NvMemcached::len).sum()
+        let top = self.topology();
+        let mut n: usize = top.shards.iter().map(NvMemcached::len).sum();
+        if let Some(f) = &top.flight {
+            n += f.new_shards.iter().map(NvMemcached::len).sum::<usize>();
+        }
+        n
     }
 
     /// Whether every shard is empty.
@@ -390,45 +713,270 @@ impl ShardedNvMemcached {
         self.len() == 0
     }
 
+    /// Straggler guard: decides whether an operation that just ran
+    /// against `ctx`'s pinned topology is allowed to linearize, or must
+    /// be redone against the current topology.
+    ///
+    /// An operation can pass [`Self::refresh`] just before
+    /// [`Self::reshard_start`] / finalize bumps the generation and then
+    /// run against the previous topology with no stripe lock — so a
+    /// write can land in an old shard *after* the migration driver's
+    /// all-stripes re-verification, stranding it where no reader or
+    /// recovery will look. The `SeqCst` fence here pairs with the fence
+    /// at the top of every drain pass (Dekker-style): if this re-check
+    /// still reads the pinned generation, the drain's re-verification is
+    /// guaranteed to observe the op's effects (and will re-migrate
+    /// them); if it reads a newer generation, the caller redoes the op
+    /// under the current routing rules, which purge any stranded copy
+    /// under the key's stripe lock. Either way nothing is lost.
+    #[inline]
+    fn gen_settled(&self, ctx: &ShardedCtx) -> bool {
+        std::sync::atomic::fence(Ordering::SeqCst);
+        ctx.gen == self.gen.load(Ordering::Acquire)
+    }
+
     /// Stores `key -> value` (memcached `set`: upsert) in the routed
-    /// shard.
+    /// shard. Mid-reshard, lands in the key's *final* home and clears any
+    /// old copy, so the migration driver can never re-copy a stale value
+    /// over it.
     pub fn set(&self, ctx: &mut ShardedCtx, key: u64, value: u64) -> Result<(), OutOfMemory> {
-        let s = self.route(ctx, key);
-        self.shards[s].set(&mut ctx.ctxs[s], key, value)
+        self.refresh(ctx);
+        loop {
+            self.set_once(ctx, key, value)?;
+            if self.gen_settled(ctx) {
+                return Ok(());
+            }
+            *ctx = self.register();
+        }
     }
 
-    /// Fetches `key` (memcached `get`) from the routed shard.
+    fn set_once(&self, ctx: &mut ShardedCtx, key: u64, value: u64) -> Result<(), OutOfMemory> {
+        let top = &*ctx.top;
+        let s = top.router.route(key, top.shards.len());
+        let Some(f) = top.flight.as_deref() else {
+            ctx.tallies[s] += 1;
+            return top.shards[s].set(&mut ctx.ctxs[s], key, value);
+        };
+        let d = top.router.route(key, f.new_shards.len());
+        let _g = f.stripes[reshard::stripe_of(key)].lock();
+        let c = f.cursor.load(Ordering::Acquire);
+        if s < c {
+            // The old home is normally empty past the cursor, but a
+            // straggler redo (see `gen_settled`) may find its own
+            // stranded copy there — clear it first. Crash between the
+            // two: both homes hold a value and recovery's new-wins rule
+            // keeps the new one, which is a previously-acknowledged
+            // state (this op is still in flight).
+            top.shards[s].delete(&mut ctx.ctxs[s], key);
+            ctx.new_tallies[d] += 1;
+            f.new_shards[d].set(&mut ctx.new_ctxs[d], key, value)
+        } else if s > c {
+            ctx.tallies[s] += 1;
+            top.shards[s].set(&mut ctx.ctxs[s], key, value)
+        } else {
+            // The shard being drained: write the new home first, then
+            // clear the old copy. A crash between the two leaves both
+            // copies; recovery's new-wins rule keeps this (acknowledged)
+            // value and discards the stale old one.
+            ctx.tallies[s] += 1;
+            f.new_shards[d].set(&mut ctx.new_ctxs[d], key, value)?;
+            top.shards[s].delete(&mut ctx.ctxs[s], key);
+            Ok(())
+        }
+    }
+
+    /// Fetches `key` (memcached `get`) from the routed shard. Lock-free
+    /// even mid-reshard: for a not-yet-drained shard the old home is
+    /// checked first — migration copies to the new home *before* deleting
+    /// the old copy, so an old-side miss means the key is in its new home
+    /// or genuinely absent.
     pub fn get(&self, ctx: &mut ShardedCtx, key: u64) -> Option<u64> {
-        let s = self.route(ctx, key);
-        self.shards[s].get(&mut ctx.ctxs[s], key)
+        self.refresh(ctx);
+        loop {
+            let v = self.get_once(ctx, key);
+            if self.gen_settled(ctx) {
+                return v;
+            }
+            *ctx = self.register();
+        }
     }
 
-    /// Deletes `key` (memcached `delete`) from the routed shard.
+    fn get_once(&self, ctx: &mut ShardedCtx, key: u64) -> Option<u64> {
+        let top = &*ctx.top;
+        let s = top.router.route(key, top.shards.len());
+        let Some(f) = top.flight.as_deref() else {
+            ctx.tallies[s] += 1;
+            return top.shards[s].get(&mut ctx.ctxs[s], key);
+        };
+        let d = top.router.route(key, f.new_shards.len());
+        if s < f.cursor.load(Ordering::Acquire) {
+            ctx.new_tallies[d] += 1;
+            f.new_shards[d].get(&mut ctx.new_ctxs[d], key)
+        } else {
+            ctx.tallies[s] += 1;
+            let old = top.shards[s].get(&mut ctx.ctxs[s], key);
+            match old {
+                Some(v) => Some(v),
+                None => f.new_shards[d].get(&mut ctx.new_ctxs[d], key),
+            }
+        }
+    }
+
+    /// Deletes `key` (memcached `delete`) from the routed shard. Mid-
+    /// reshard both homes are cleared, old side first: if a crash image
+    /// holds both copies, recovery keeps the *new* one, so the old copy
+    /// must die first or a torn delete could resurrect a stale value.
     pub fn delete(&self, ctx: &mut ShardedCtx, key: u64) -> Option<u64> {
-        let s = self.route(ctx, key);
-        self.shards[s].delete(&mut ctx.ctxs[s], key)
+        self.refresh(ctx);
+        loop {
+            let v = self.delete_once(ctx, key);
+            if self.gen_settled(ctx) {
+                return v;
+            }
+            *ctx = self.register();
+        }
     }
 
-    /// Memcached `add`: stores only if the key is absent.
+    fn delete_once(&self, ctx: &mut ShardedCtx, key: u64) -> Option<u64> {
+        let top = &*ctx.top;
+        let s = top.router.route(key, top.shards.len());
+        let Some(f) = top.flight.as_deref() else {
+            ctx.tallies[s] += 1;
+            return top.shards[s].delete(&mut ctx.ctxs[s], key);
+        };
+        let d = top.router.route(key, f.new_shards.len());
+        let _g = f.stripes[reshard::stripe_of(key)].lock();
+        let c = f.cursor.load(Ordering::Acquire);
+        if s < c {
+            // Old-home purge first (stranded straggler copies; see
+            // `gen_settled`) — the old copy must die before the new one
+            // so a crash image can never resurrect it via new-wins.
+            let old_v = top.shards[s].delete(&mut ctx.ctxs[s], key);
+            ctx.new_tallies[d] += 1;
+            f.new_shards[d].delete(&mut ctx.new_ctxs[d], key).or(old_v)
+        } else if s > c {
+            ctx.tallies[s] += 1;
+            top.shards[s].delete(&mut ctx.ctxs[s], key)
+        } else {
+            ctx.tallies[s] += 1;
+            let old_v = top.shards[s].delete(&mut ctx.ctxs[s], key);
+            let new_v = f.new_shards[d].delete(&mut ctx.new_ctxs[d], key);
+            new_v.or(old_v)
+        }
+    }
+
+    /// Memcached `add`: stores only if the key is absent (in either home,
+    /// mid-reshard).
     pub fn add(&self, ctx: &mut ShardedCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
-        let s = self.route(ctx, key);
-        self.shards[s].add(&mut ctx.ctxs[s], key, value)
+        self.refresh(ctx);
+        let r = self.add_once(ctx, key, value)?;
+        if !r || self.gen_settled(ctx) {
+            return Ok(r);
+        }
+        // The winning store may be stranded in a superseded topology
+        // (see `gen_settled`); the key is ours, so re-assert it as an
+        // upsert under the current routing rules.
+        *ctx = self.register();
+        loop {
+            self.set_once(ctx, key, value)?;
+            if self.gen_settled(ctx) {
+                return Ok(true);
+            }
+            *ctx = self.register();
+        }
     }
 
-    /// Memcached `replace`: stores only if the key is present.
+    fn add_once(&self, ctx: &mut ShardedCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
+        let top = &*ctx.top;
+        let s = top.router.route(key, top.shards.len());
+        let Some(f) = top.flight.as_deref() else {
+            ctx.tallies[s] += 1;
+            return top.shards[s].add(&mut ctx.ctxs[s], key, value);
+        };
+        let d = top.router.route(key, f.new_shards.len());
+        let _g = f.stripes[reshard::stripe_of(key)].lock();
+        let c = f.cursor.load(Ordering::Acquire);
+        if s < c {
+            ctx.new_tallies[d] += 1;
+            f.new_shards[d].add(&mut ctx.new_ctxs[d], key, value)
+        } else if s > c {
+            ctx.tallies[s] += 1;
+            top.shards[s].add(&mut ctx.ctxs[s], key, value)
+        } else {
+            ctx.tallies[s] += 1;
+            if top.shards[s].get(&mut ctx.ctxs[s], key).is_some() {
+                return Ok(false);
+            }
+            f.new_shards[d].add(&mut ctx.new_ctxs[d], key, value)
+        }
+    }
+
+    /// Memcached `replace`: stores only if the key is present (in either
+    /// home, mid-reshard; a replace of an old-home key migrates it).
     pub fn replace(&self, ctx: &mut ShardedCtx, key: u64, value: u64) -> Result<bool, OutOfMemory> {
-        let s = self.route(ctx, key);
-        self.shards[s].replace(&mut ctx.ctxs[s], key, value)
+        self.refresh(ctx);
+        let r = self.replace_once(ctx, key, value)?;
+        if !r || self.gen_settled(ctx) {
+            return Ok(r);
+        }
+        // Same stranding repair as `add`: the store happened, so
+        // re-assert it as an upsert under the current routing rules.
+        *ctx = self.register();
+        loop {
+            self.set_once(ctx, key, value)?;
+            if self.gen_settled(ctx) {
+                return Ok(true);
+            }
+            *ctx = self.register();
+        }
+    }
+
+    fn replace_once(
+        &self,
+        ctx: &mut ShardedCtx,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, OutOfMemory> {
+        let top = &*ctx.top;
+        let s = top.router.route(key, top.shards.len());
+        let Some(f) = top.flight.as_deref() else {
+            ctx.tallies[s] += 1;
+            return top.shards[s].replace(&mut ctx.ctxs[s], key, value);
+        };
+        let d = top.router.route(key, f.new_shards.len());
+        let _g = f.stripes[reshard::stripe_of(key)].lock();
+        let c = f.cursor.load(Ordering::Acquire);
+        if s < c {
+            ctx.new_tallies[d] += 1;
+            f.new_shards[d].replace(&mut ctx.new_ctxs[d], key, value)
+        } else if s > c {
+            ctx.tallies[s] += 1;
+            top.shards[s].replace(&mut ctx.ctxs[s], key, value)
+        } else {
+            ctx.tallies[s] += 1;
+            if f.new_shards[d].replace(&mut ctx.new_ctxs[d], key, value)? {
+                return Ok(true);
+            }
+            if top.shards[s].get(&mut ctx.ctxs[s], key).is_some() {
+                f.new_shards[d].set(&mut ctx.new_ctxs[d], key, value)?;
+                top.shards[s].delete(&mut ctx.ctxs[s], key);
+                return Ok(true);
+            }
+            Ok(false)
+        }
     }
 
     /// Starts an incremental grow of every shard's bucket array by
     /// `factor` (see [`NvMemcached::grow`]). Each shard migrates
     /// independently and lazily; operations keep serving throughout.
     /// Returns how many shards actually started a resize (a shard
-    /// already mid-resize refuses and counts as not started).
+    /// already mid-resize refuses and counts as not started). Applies to
+    /// the current topology's serving shards.
     pub fn grow(&self, ctx: &mut ShardedCtx, factor: usize) -> Result<usize, OutOfMemory> {
+        self.refresh(ctx);
+        let top = Arc::clone(&ctx.top);
         let mut started = 0;
-        for (i, shard) in self.shards.iter().enumerate() {
+        for (i, shard) in top.shards.iter().enumerate() {
             if shard.grow(&mut ctx.ctxs[i], factor)? {
                 started += 1;
             }
@@ -438,39 +986,58 @@ impl ShardedNvMemcached {
 
     /// Drives every shard's in-flight resize to completion.
     pub fn finish_resize(&self, ctx: &mut ShardedCtx) -> Result<(), OutOfMemory> {
-        for (i, shard) in self.shards.iter().enumerate() {
+        self.refresh(ctx);
+        let top = Arc::clone(&ctx.top);
+        for (i, shard) in top.shards.iter().enumerate() {
             shard.finish_resize(&mut ctx.ctxs[i])?;
         }
         Ok(())
     }
 
-    /// Whether any shard has a resize in flight.
+    /// Whether any shard has a (bucket-array) resize in flight.
     pub fn resize_in_flight(&self) -> bool {
-        self.shards.iter().any(NvMemcached::resize_in_flight)
+        self.topology().shards.iter().any(NvMemcached::resize_in_flight)
     }
 
-    /// Durability barrier over every shard (flushes link-cache residue).
+    /// Durability barrier over every shard (flushes link-cache residue),
+    /// including mid-reshard target shards.
     pub fn quiesce(&self) {
-        for shard in self.shards.iter() {
+        let top = self.topology();
+        let flight_shards = top.flight.as_ref().map(|f| Arc::clone(&f.new_shards));
+        for shard in top.shards.iter().chain(flight_shards.iter().flat_map(|s| s.iter())) {
             let mut flusher = shard.domain().pool().flusher();
             shard.quiesce(&mut flusher);
         }
     }
 
     /// Merged lifetime [`FlushStats`] over every shard pool (same
-    /// snapshot-pair discipline as [`PmemPool::flush_stats`]).
+    /// snapshot-pair discipline as [`PmemPool::flush_stats`]), including
+    /// mid-reshard target shards.
     pub fn flush_stats(&self) -> FlushStats {
+        let top = self.topology();
         let mut total = FlushStats::default();
-        for shard in self.shards.iter() {
+        for shard in top.shards.iter() {
             total.merge(shard.domain().pool().flush_stats());
+        }
+        if let Some(f) = &top.flight {
+            for shard in f.new_shards.iter() {
+                total.merge(shard.domain().pool().flush_stats());
+            }
         }
         total
     }
 
     /// Quiescent snapshot of every shard's live pairs (order
-    /// unspecified).
+    /// unspecified). Mid-reshard the union of old and new homes is
+    /// returned; only quiescent states are meaningful (a key mid-
+    /// migration can transiently appear twice).
     pub fn snapshot(&self) -> Vec<(u64, u64)> {
-        self.shards.iter().flat_map(NvMemcached::snapshot).collect()
+        let top = self.topology();
+        let mut v: Vec<(u64, u64)> = top.shards.iter().flat_map(NvMemcached::snapshot).collect();
+        if let Some(f) = &top.flight {
+            v.extend(f.new_shards.iter().flat_map(NvMemcached::snapshot));
+        }
+        v
     }
 }
 
@@ -517,6 +1084,23 @@ mod tests {
             seen[shard_of(key, 8)] = true;
         }
         assert!(seen.iter().all(|&s| s), "all 8 shards receive keys");
+    }
+
+    #[test]
+    fn range_router_is_total_ordered_and_degenerate_for_small_keys() {
+        for n in [1usize, 2, 4, 8] {
+            let mut last = 0usize;
+            for key in (0..64u64).map(|i| i << 58) {
+                let s = Router::Range.route(key, n);
+                assert!(s < n);
+                assert!(s >= last, "range routing is monotone in the key");
+                last = s;
+            }
+        }
+        // The negative control: realistic small keys all land in shard 0.
+        for key in 1..=100_000u64 {
+            assert_eq!(Router::Range.route(key, 8), 0);
+        }
     }
 
     #[test]
@@ -567,7 +1151,7 @@ mod tests {
         // Soft capacity: ceil(100/4) = 25 per shard, 100 total (+ race
         // slack; single-threaded here, so exact).
         assert!(mc.len() <= 100, "soft capacity respected (len = {})", mc.len());
-        for shard in mc.shards() {
+        for shard in mc.shards().iter() {
             assert!(shard.len() <= 25, "per-shard capacity respected");
         }
     }
@@ -594,7 +1178,7 @@ mod tests {
         for k in 1..=1200u64 {
             assert_eq!(mc.get(&mut ctx, k), Some(k), "key {k} survived the grow");
         }
-        for shard in mc.shards() {
+        for shard in mc.shards().iter() {
             assert_eq!(shard.capacity_hint(), 256, "4x grow from 64 buckets");
         }
     }
@@ -618,6 +1202,7 @@ mod tests {
         }
         let (mc2, report) = ShardedNvMemcached::recover(&pools, 100_000).unwrap();
         assert!(!report.used_full_scan);
+        assert_eq!(mc2.version(), 1);
         let mut ctx = mc2.register();
         for k in 1..=100u64 {
             assert_eq!(mc2.get(&mut ctx, k), None, "deleted key {k} stayed deleted");
@@ -665,9 +1250,14 @@ mod tests {
 
     #[test]
     fn geometry_pack_round_trips() {
-        for (id, count, index) in [(1u32, 1usize, 0usize), (0xDEAD_BEEF, 8, 7), (7, 65_535, 42)] {
-            let (rid, c, i) = unpack_geometry(pack_geometry(id, count, index));
-            assert_eq!((rid, c as usize, i as usize), (id, count, index));
+        for (id, router, version, count, index) in [
+            (1u32, Router::Hash, 1u32, 1usize, 0usize),
+            (0x5E_AD0E, Router::Range, 7, 8, 7),
+            (7, Router::Hash, 65_535, 4095, 42),
+        ] {
+            let (rid, r, v, c, i) =
+                unpack_geometry(pack_geometry(id, router, version, count, index));
+            assert_eq!((rid, r, v, c as usize, i as usize), (id, router, version, count, index));
         }
     }
 
@@ -677,6 +1267,7 @@ mod tests {
         let b = fresh_cache_id();
         assert_ne!(a, 0);
         assert_ne!(b, 0);
+        assert!(a < (1 << 23) && b < (1 << 23), "ids fit the 23-bit geometry field");
         assert_ne!(a, b, "two create calls in one process get distinct ids");
     }
 }

@@ -65,10 +65,16 @@ pub enum CrashEvent {
     /// [`crate::Flusher::note_crash_event`]; crashing here exercises
     /// recovery of a half-migrated table.
     ResizeState = 4,
+    /// A sharded-cache reshard topology word (`[OLD][NEW][CURSOR]
+    /// [VERSION]`: commit record or migration-cursor advance) is about to
+    /// be durably updated. Emitted by the cache layer via
+    /// [`crate::Flusher::note_crash_event`]; crashing here exercises
+    /// recovery of a half-migrated shard topology.
+    ReshardState = 5,
 }
 
 /// Number of distinct [`CrashEvent`] kinds.
-pub const N_EVENT_KINDS: usize = 5;
+pub const N_EVENT_KINDS: usize = 6;
 
 /// One-shot callback run when the plan's target event is reached.
 pub type CrashHook = Box<dyn FnOnce() + Send>;
@@ -206,11 +212,16 @@ mod tests {
         plan.note(CrashEvent::ResizeState);
         plan.note(CrashEvent::ResizeState);
         plan.note(CrashEvent::ResizeState);
+        plan.note(CrashEvent::ReshardState);
+        plan.note(CrashEvent::ReshardState);
+        plan.note(CrashEvent::ReshardState);
+        plan.note(CrashEvent::ReshardState);
         assert_eq!(plan.kind_count(CrashEvent::Clwb), 2);
         assert_eq!(plan.kind_count(CrashEvent::Fence), 1);
         assert_eq!(plan.kind_count(CrashEvent::LinkPublish), 1);
         assert_eq!(plan.kind_count(CrashEvent::TlabLease), 2);
         assert_eq!(plan.kind_count(CrashEvent::ResizeState), 3);
+        assert_eq!(plan.kind_count(CrashEvent::ReshardState), 4);
     }
 
     #[test]

@@ -93,6 +93,9 @@ pub enum Command {
     },
     /// `stats`: server observability counters.
     Stats,
+    /// `stats reshard`: the serving topology and, mid-reshard, the
+    /// migration's progress.
+    StatsReshard,
     /// `version`.
     Version,
     /// `quit`: close the connection without a response.
@@ -294,7 +297,11 @@ fn parse_line(line: &[u8]) -> Parsed {
             };
             Parsed::Cmd(Command::Delete { key, noreply })
         }
-        "stats" => Parsed::Cmd(Command::Stats),
+        "stats" => match it.next() {
+            None => Parsed::Cmd(Command::Stats),
+            Some("reshard") if it.next().is_none() => Parsed::Cmd(Command::StatsReshard),
+            Some(_) => bad("ERROR"),
+        },
         "version" => Parsed::Cmd(Command::Version),
         "quit" => Parsed::Cmd(Command::Quit),
         _ => bad("ERROR"),

@@ -135,6 +135,29 @@ impl<'a> Session<'a> {
                 self.line(&format!("STAT curr_items {}", self.cache.len()));
                 self.line("END");
             }
+            Command::StatsReshard => {
+                let top = self.cache.topology_stats();
+                self.line(&format!("STAT topology_version {}", top.version));
+                self.line(&format!("STAT shards {}", top.n_shards));
+                self.line(&format!(
+                    "STAT router {}",
+                    match top.router {
+                        nvmemcached::Router::Hash => "hash",
+                        nvmemcached::Router::Range => "range",
+                    }
+                ));
+                match top.reshard {
+                    None => self.line("STAT reshard_in_flight 0"),
+                    Some(p) => {
+                        self.line("STAT reshard_in_flight 1");
+                        self.line(&format!("STAT reshard_from {}", p.from));
+                        self.line(&format!("STAT reshard_to {}", p.to));
+                        self.line(&format!("STAT reshard_cursor {}", p.cursor));
+                        self.line(&format!("STAT reshard_target_version {}", p.version));
+                    }
+                }
+                self.line("END");
+            }
             Command::Version => {
                 self.line(concat!("VERSION nvram-logfree/", env!("CARGO_PKG_VERSION")));
             }

@@ -218,10 +218,111 @@ fn server_keeps_serving_during_live_grow() {
     drop((w, reader));
     let cache = server.shutdown();
     assert!(!cache.resize_in_flight());
-    for shard in cache.shards() {
+    for shard in cache.shards().iter() {
         assert_eq!(shard.capacity_hint(), 256, "4x grow from 64 buckets");
     }
     assert_eq!(cache.len(), 500);
+}
+
+#[test]
+fn server_keeps_serving_during_live_reshard() {
+    let pools: Vec<_> = (0..2)
+        .map(|_| {
+            PoolBuilder::new(32 << 20).mode(Mode::CrashSim).latency(LatencyModel::ZERO).build()
+        })
+        .collect();
+    let cache =
+        Arc::new(ShardedNvMemcached::create(&pools, 64, 1_000_000, true).expect("pool sized"));
+    let server =
+        Server::start(Arc::clone(&cache), ServerConfig { workers: Some(2), ..Default::default() })
+            .expect("bind loopback");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut w = stream;
+
+    for k in 1..=400u64 {
+        let data = (k * 7).to_string();
+        w.write_all(format!("set {k} 0 0 {}\r\n{data}\r\n", data.len()).as_bytes()).unwrap();
+        assert_eq!(read_line(&mut reader), "STORED");
+    }
+
+    // Start a live 2→4 reshard from the admin side; the TCP client
+    // keeps reading, writing and polling `stats reshard` while the
+    // migration is stepped along between its requests.
+    let new_pools: Vec<_> = (0..4)
+        .map(|_| {
+            PoolBuilder::new(32 << 20).mode(Mode::CrashSim).latency(LatencyModel::ZERO).build()
+        })
+        .collect();
+    cache.reshard_start(&new_pools, 64).expect("fresh target pools");
+
+    w.write_all(b"stats reshard\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "STAT topology_version 1");
+    assert_eq!(read_line(&mut reader), "STAT shards 2");
+    assert_eq!(read_line(&mut reader), "STAT router hash");
+    assert_eq!(read_line(&mut reader), "STAT reshard_in_flight 1");
+    assert_eq!(read_line(&mut reader), "STAT reshard_from 2");
+    assert_eq!(read_line(&mut reader), "STAT reshard_to 4");
+    assert_eq!(read_line(&mut reader), "STAT reshard_cursor 0");
+    assert_eq!(read_line(&mut reader), "STAT reshard_target_version 2");
+    assert_eq!(read_line(&mut reader), "END");
+
+    // Serve traffic with the migration mid-flight: one drained shard.
+    assert!(!cache.reshard_step().expect("pool sized"), "first of two shards drained");
+    for k in 1..=400u64 {
+        let data = (k * 7).to_string();
+        w.write_all(format!("get {k}\r\n").as_bytes()).unwrap();
+        assert_eq!(read_line(&mut reader), format!("VALUE {k} 0 {}", data.len()));
+        assert_eq!(read_line(&mut reader), data);
+        assert_eq!(read_line(&mut reader), "END");
+    }
+    for k in 401..=500u64 {
+        let data = (k * 7).to_string();
+        w.write_all(format!("set {k} 0 0 {}\r\n{data}\r\n", data.len()).as_bytes()).unwrap();
+        assert_eq!(read_line(&mut reader), "STORED");
+    }
+    while !cache.reshard_step().expect("pool sized") {}
+
+    w.write_all(b"stats reshard\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "STAT topology_version 2");
+    assert_eq!(read_line(&mut reader), "STAT shards 4");
+    assert_eq!(read_line(&mut reader), "STAT router hash");
+    assert_eq!(read_line(&mut reader), "STAT reshard_in_flight 0");
+    assert_eq!(read_line(&mut reader), "END");
+
+    // Post-reshard: everything is still there, over TCP.
+    for k in 1..=500u64 {
+        let data = (k * 7).to_string();
+        w.write_all(format!("get {k}\r\n").as_bytes()).unwrap();
+        assert_eq!(read_line(&mut reader), format!("VALUE {k} 0 {}", data.len()));
+        assert_eq!(read_line(&mut reader), data);
+        assert_eq!(read_line(&mut reader), "END");
+    }
+    drop((w, reader));
+    let cache = server.shutdown();
+    assert_eq!(cache.n_shards(), 4);
+    assert_eq!(cache.len(), 500);
+    for (i, shard) in cache.shards().iter().enumerate() {
+        for (k, _) in shard.snapshot() {
+            assert_eq!(cache.shard_of(k), i, "key {k} in wrong shard after live reshard");
+        }
+    }
+}
+
+#[test]
+fn stats_reshard_arguments_are_validated() {
+    let server = Server::start_local(cache(2)).expect("bind loopback");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut w = stream;
+    w.write_all(b"stats bogus\r\nstats reshard\r\n").unwrap();
+    assert_eq!(read_line(&mut reader), "ERROR");
+    assert_eq!(read_line(&mut reader), "STAT topology_version 1");
+    assert_eq!(read_line(&mut reader), "STAT shards 2");
+    assert_eq!(read_line(&mut reader), "STAT router hash");
+    assert_eq!(read_line(&mut reader), "STAT reshard_in_flight 0");
+    assert_eq!(read_line(&mut reader), "END");
+    server.shutdown();
 }
 
 #[test]

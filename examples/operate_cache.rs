@@ -1,0 +1,143 @@
+//! The operator's walkthrough: boot the TCP server on a durable
+//! sharded cache, drive it with the open-loop client, then change the
+//! topology underneath the live traffic — a 4x bucket-array grow and a
+//! 2→4 shard reshard — reading `stats reshard` at each step, and
+//! finally restart-as-recovery from the new pools alone.
+//!
+//! ```sh
+//! cargo run --release --example operate_cache
+//! ```
+//!
+//! README "Operating the cache" narrates this file section by section.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::openloop::{run_open_loop, OpenLoopConfig};
+use nvram_logfree::nvmemcached::memtier::Workload;
+use nvram_logfree::prelude::*;
+use server::{Server, ServerConfig};
+
+const KEY_RANGE: u64 = 50_000;
+const BUCKETS: usize = 1024;
+
+fn fresh_pools(n: usize) -> Vec<Arc<PmemPool>> {
+    (0..n).map(|_| PoolBuilder::new(64 << 20).mode(Mode::CrashSim).build()).collect()
+}
+
+/// One ASCII command over its own connection; returns the lines up to
+/// and including `END` — exactly what `printf 'stats reshard\r\n' | nc`
+/// would show.
+fn ask(addr: SocketAddr, cmd: &str) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("server is listening");
+    stream.write_all(format!("{cmd}\r\n").as_bytes()).expect("send command");
+    let mut lines = Vec::new();
+    for line in BufReader::new(stream).lines() {
+        let line = line.expect("well-formed response line");
+        let done = line == "END";
+        lines.push(line);
+        if done {
+            break;
+        }
+    }
+    lines
+}
+
+fn drive(addr: SocketAddr, label: &str, workload: Workload) {
+    let r = run_open_loop(&OpenLoopConfig {
+        addr,
+        connections: 4,
+        offered_rps: 20_000.0,
+        duration: Duration::from_millis(500),
+        workload,
+        seed: 1914,
+    })
+    .expect("open-loop run over loopback");
+    println!(
+        "[{label}] offered 20000 rps, achieved {:.0} rps; p50={}ns p99={}ns max={}ns",
+        r.achieved_rps(),
+        r.latency.percentile(50.0),
+        r.latency.percentile(99.0),
+        r.latency.max(),
+    );
+}
+
+fn main() {
+    // Boot: two durable shard pools behind the memcached ASCII protocol.
+    let old_pools = fresh_pools(2);
+    let cache = Arc::new(
+        ShardedNvMemcached::create(&old_pools, BUCKETS, 1 << 20, true).expect("pools sized"),
+    );
+    let workload = Workload::paper(KEY_RANGE, 7);
+    {
+        let mut ctx = cache.register();
+        for k in workload.warmup_keys() {
+            cache.set(&mut ctx, k, k).expect("pools sized");
+        }
+    }
+    let server = Server::start(
+        Arc::clone(&cache),
+        ServerConfig { workers: Some(4), ..ServerConfig::default() },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("serving {} items on {addr}", cache.len());
+
+    // Steady state under open-loop load, then the topology stats.
+    drive(addr, "steady state", workload);
+    for line in ask(addr, "stats reshard") {
+        println!("  {line}");
+    }
+
+    // Live grow: 4x the bucket arrays while the server keeps serving.
+    {
+        let mut ctx = cache.register();
+        cache.grow(&mut ctx, 4).expect("pool room for the new arrays");
+        cache.finish_resize(&mut ctx).expect("pools sized");
+    }
+    drive(addr, "after 4x grow", workload);
+
+    // Live reshard: commit the 2→4 migration, read the in-flight
+    // cursor over the wire, then drain it while the client hammers.
+    let new_pools = fresh_pools(4);
+    cache.reshard_start(&new_pools, BUCKETS).expect("fresh target pools");
+    println!("mid-flight:");
+    for line in ask(addr, "stats reshard") {
+        println!("  {line}");
+    }
+    std::thread::scope(|s| {
+        let cache = &cache;
+        s.spawn(move || while !cache.reshard_step().expect("target pools sized") {});
+        drive(addr, "during reshard", workload);
+    });
+    println!("after reshard:");
+    for line in ask(addr, "stats reshard") {
+        println!("  {line}");
+    }
+
+    // Planned shutdown: drain connections, quiesce every shard pool.
+    let cache = server.shutdown();
+    let items = cache.len();
+    drop(cache);
+
+    // Restart-as-recovery from the four new pools alone — the retired
+    // originals are no longer needed once the reshard committed.
+    for pool in &new_pools {
+        // SAFETY: the server is shut down; no thread touches the pools.
+        unsafe { pool.simulate_crash().expect("crash-sim pool") };
+    }
+    let (cache, report) = ShardedNvMemcached::recover(&new_pools, 1 << 20).expect("clean topology");
+    assert_eq!(cache.len(), items, "every completed item survived the restart");
+    println!(
+        "recovered {} items on {} shards (topology v{}), {} leak(s) freed",
+        cache.len(),
+        cache.n_shards(),
+        cache.version(),
+        report.leaks_freed
+    );
+    let server = Server::start_local(Arc::new(cache)).expect("bind loopback");
+    drive(server.local_addr(), "after recovery", workload);
+    server.shutdown();
+}
