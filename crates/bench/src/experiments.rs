@@ -1028,12 +1028,18 @@ pub fn fig13_skew(cfg: &RunConfig) -> ExperimentReport {
 /// free; see [`crate::openloop`]).
 ///
 /// Sweeps offered load x connections x shard count over the fixed
-/// Figure 11 workload (1:4 set:get, 10k key range). Each row starts a
-/// fresh warmed cache and server (workers = connections, so no request
-/// ever queues behind another connection's socket), drains the full
-/// arrival schedule, and reports achieved rps plus the merged latency
-/// histogram as p50/p90/p99/p999. `LOAD_RPS` / `CONNS` pin a single
-/// load or connection count for manual sweeps (0 = the defaults).
+/// Figure 11 workload (1:4 set:get, 10k key range). By default the
+/// event-driven server multiplexes the whole connection sweep
+/// (`{4, 16, 64}`, plus 256 under `FULL=1`) over **workers = shard
+/// count** — the fan-in the blocking model could never reach — and the
+/// open-loop client multiplexes its side the same way, so 256
+/// simulated clients cost 4 driver threads. `EVENT_LOOP=0` pins the
+/// blocking thread-per-connection pair (workers = connections) for A/B
+/// comparison. Each (shards, conns) point starts a fresh warmed cache
+/// and server, drains the full arrival schedule, and reports achieved
+/// rps plus the merged CO-free latency histogram as p50/p90/p99/p999.
+/// `LOAD_RPS` / `CONNS` pin a single load or connection count for
+/// manual sweeps (0 = the defaults).
 pub fn fig14_latency(cfg: &RunConfig) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "fig14_latency",
@@ -1054,8 +1060,22 @@ pub fn fig14_latency(cfg: &RunConfig) -> ExperimentReport {
     } else {
         vec![2_000.0, 10_000.0]
     };
-    let conn_counts: Vec<usize> =
-        if cfg.conns != 0 { vec![cfg.conns as usize] } else { vec![1, 4] };
+    let event_loop = cfg.event_loop && server::sys::SUPPORTED;
+    // The blocking model registers per-shard contexts per *connection
+    // served* — and epoch slots are never recycled (`nvalloc::epoch`,
+    // 64 per domain) — so its sweep must stay at the pre-event-loop
+    // connection counts. The event loop registers per *worker* and is
+    // immune; that asymmetry is half the point of the experiment.
+    let conn_counts: Vec<usize> = if cfg.conns != 0 {
+        let c = cfg.conns as usize;
+        vec![if event_loop { c } else { c.min(16) }]
+    } else if !event_loop {
+        vec![1, 4]
+    } else if cfg.full {
+        vec![4, 16, 64, 256]
+    } else {
+        vec![4, 16, 64]
+    };
     for n_shards in [1usize, 4] {
         for &conns in &conn_counts {
             // One server per (shards, conns) point, reused across loads:
@@ -1070,9 +1090,14 @@ pub fn fig14_latency(cfg: &RunConfig) -> ExperimentReport {
                     mc.set(&mut ctx, k, k).expect("pools sized");
                 }
             }
+            // Event loop: workers = shard count (`None`), conns ≫
+            // workers is the whole point. Blocking fallback: it serves
+            // one connection per worker to completion, so anything less
+            // than workers = conns would deadlock the sweep.
+            let workers = if event_loop { None } else { Some(conns) };
             let server = Server::start(
                 Arc::new(mc),
-                ServerConfig { workers: Some(conns), ..ServerConfig::default() },
+                ServerConfig { workers, event_loop, ..ServerConfig::default() },
             )
             .expect("bind loopback");
             for &offered in &loads {
@@ -1083,6 +1108,9 @@ pub fn fig14_latency(cfg: &RunConfig) -> ExperimentReport {
                     duration,
                     workload: wl,
                     seed: 1914,
+                    // Four driver threads multiplex the whole sweep
+                    // (0 = thread-per-connection when pinned blocking).
+                    client_threads: if event_loop { conns.min(4) } else { 0 },
                 })
                 .expect("open-loop run over loopback");
                 report.measurements.push(
@@ -1100,6 +1128,8 @@ pub fn fig14_latency(cfg: &RunConfig) -> ExperimentReport {
                     .metric("offered_rps", offered)
                     .metric("shards", n_shards as f64)
                     .metric("connections", conns as f64)
+                    .metric("server_workers", workers.unwrap_or(n_shards) as f64)
+                    .metric("event_loop", u64::from(event_loop) as f64)
                     .metric("requests", r.sent as f64)
                     .metric("get_hit_rate", r.hit_rate()),
                 );

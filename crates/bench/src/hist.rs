@@ -154,6 +154,41 @@ impl Histogram {
         self.max
     }
 
+    /// The value at percentile `p` with linear interpolation *within*
+    /// the containing bucket: the bucket's value span is spread evenly
+    /// over its samples, so the estimate moves smoothly with `p`
+    /// instead of jumping bucket-bound to bucket-bound. Tail
+    /// percentiles of a merged many-connection histogram (p999 of a
+    /// fig14 sweep) land in wide high-magnitude buckets where the
+    /// upper-bound convention of [`Histogram::percentile`] can
+    /// over-report by the full ~3% bucket width; interpolation splits
+    /// the difference while staying inside the same bucket (and inside
+    /// the exact observed `[min, max]`). 0 when empty.
+    pub fn percentile_interp(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let (lo, hi) = bucket_range(i);
+                // The target is the `(target - seen)`-th of this
+                // bucket's `c` samples; place it fractionally along
+                // the bucket's inclusive value span.
+                let frac = (target - seen) as f64 / c as f64;
+                let span = (hi - lo) as f64;
+                let v = lo as f64 + span * frac;
+                return v.clamp(self.min() as f64, self.max as f64);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
     /// The non-empty buckets as `(lo, hi, count)` inclusive value
     /// ranges, in ascending order — the compact wire form for reports.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
@@ -263,6 +298,97 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.percentile_interp(99.0), 0.0);
         assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    /// The multiplexed-client invariant: per-connection histograms
+    /// merged pairwise report the identical p999 (both conventions) as
+    /// one histogram fed every sample — merging is exactly addition,
+    /// whatever the merge tree shape.
+    #[test]
+    fn per_connection_merge_preserves_p999() {
+        const CONNS: usize = 8;
+        let mut per_conn: Vec<Histogram> = (0..CONNS).map(|_| Histogram::new()).collect();
+        let mut all = Histogram::new();
+        let mut x = 0xDEADBEEFu64;
+        for i in 0..80_000usize {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Bimodal like a real latency distribution: fast path plus
+            // a 1-in-500 millisecond-scale tail that only p999 sees.
+            let v = if x % 500 == 0 { 5_000_000 + x % 20_000_000 } else { 2_000 + x % 60_000 };
+            per_conn[i % CONNS].record(v);
+            all.record(v);
+        }
+        // Merge as run_open_loop does (fold into an empty accumulator),
+        // and also pairwise-tree, to pin shape-independence.
+        let mut folded = Histogram::new();
+        for h in &per_conn {
+            folded.merge(h);
+        }
+        let mut tree: Vec<Histogram> = per_conn;
+        while tree.len() > 1 {
+            let b = tree.pop().expect("nonempty");
+            tree.last_mut().expect("nonempty").merge(&b);
+            tree.rotate_left(1);
+        }
+        let tree = tree.pop().expect("one left");
+        for h in [&folded, &tree] {
+            assert_eq!(h.count(), all.count());
+            assert_eq!(h.min(), all.min());
+            assert_eq!(h.max(), all.max());
+            for p in [50.0, 90.0, 99.0, 99.9] {
+                assert_eq!(h.percentile(p), all.percentile(p), "p{p} diverged after merge");
+                assert_eq!(
+                    h.percentile_interp(p),
+                    all.percentile_interp(p),
+                    "interpolated p{p} diverged after merge"
+                );
+            }
+        }
+        // The p999 actually resolves the injected tail mode.
+        assert!(all.percentile(99.9) >= 5_000_000, "p999 {}", all.percentile(99.9));
+        assert!(all.percentile(50.0) < 100_000, "p50 {}", all.percentile(50.0));
+    }
+
+    #[test]
+    fn interpolated_percentiles_stay_inside_the_bucket_and_beat_the_bound() {
+        let mut h = Histogram::new();
+        let mut samples = Vec::new();
+        let mut x = 0xABCDEFu64;
+        for _ in 0..100_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = 100 + x % 10_000_000;
+            h.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let idx = ((p / 100.0) * samples.len() as f64).ceil() as usize - 1;
+            let exact = samples[idx] as f64;
+            let bound = h.percentile(p) as f64;
+            let interp = h.percentile_interp(p);
+            // Never above the conservative bucket bound, and within one
+            // bucket width (~3% relative) of the exact order statistic
+            // on either side.
+            assert!(interp <= bound, "p{p}: interp {interp} above bound {bound}");
+            let rel = (interp - exact).abs() / exact;
+            assert!(rel <= 1.0 / SUB_BUCKETS as f64 + 1e-9, "p{p}: rel err {rel}");
+        }
+        // Interpolation respects the exact observed extremes.
+        assert!(h.percentile_interp(0.0001) >= h.min() as f64);
+        assert!(h.percentile_interp(100.0) <= h.max() as f64);
+    }
+
+    #[test]
+    fn single_sample_interpolation_is_exact() {
+        let mut h = Histogram::new();
+        h.record(123_456);
+        assert_eq!(h.percentile_interp(50.0), 123_456.0);
+        assert_eq!(h.percentile_interp(99.9), 123_456.0);
     }
 }

@@ -26,13 +26,28 @@
 //! scales by adding connections, exactly like a memtier/wrk2 rig.
 //! Request content comes from the same [`Workload`] engine as every
 //! in-process experiment, so wire and in-process rows are comparable.
+//!
+//! # Two drivers, one schedule
+//!
+//! With [`OpenLoopConfig::client_threads`] = 0 each connection gets its
+//! own thread (the original model, and the fallback where
+//! [`server::sys::SUPPORTED`] is false). With a non-zero value, that
+//! many worker threads each own an epoll instance and **multiplex**
+//! their share of the connections — 256 connections driven by 4 client
+//! threads — so the client rig stops needing one OS thread per
+//! simulated client well before the server does. Both drivers draw the
+//! identical per-connection arrival schedule and request stream (seeded
+//! by the *global* connection index), so swapping drivers changes only
+//! who does the waiting, not what load is offered.
 
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use nvmemcached::memtier::{Request, RequestStream, Workload};
+use server::sys::{self, Epoll, EpollEvent};
 use workload::Xorshift;
 
 use crate::hist::Histogram;
@@ -42,7 +57,7 @@ use crate::hist::Histogram;
 pub struct OpenLoopConfig {
     /// Server address.
     pub addr: SocketAddr,
-    /// Concurrent connections (each on its own thread).
+    /// Concurrent connections.
     pub connections: usize,
     /// Total offered load, requests/second, split evenly across
     /// connections.
@@ -56,6 +71,11 @@ pub struct OpenLoopConfig {
     /// Arrival-schedule seed (decorrelated from the workload's own
     /// request stream).
     pub seed: u64,
+    /// Client worker threads, each multiplexing
+    /// `connections / client_threads` non-blocking connections over
+    /// epoll. `0` = one blocking thread per connection (the classic
+    /// rig, and the fallback on targets without the epoll shim).
+    pub client_threads: usize,
 }
 
 /// Merged outcome of an open-loop run.
@@ -117,24 +137,49 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> std::io::Result<OpenLoopResult> {
     let conns = cfg.connections.max(1);
     let per_conn_rate = (cfg.offered_rps / conns as f64).max(1e-9);
     let per_conn_n = (per_conn_rate * cfg.duration.as_secs_f64()).ceil().max(1.0) as u64;
-    let barrier = Barrier::new(conns);
 
-    let results: Vec<std::io::Result<ConnResult>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..conns)
-            .map(|c| {
-                let barrier = &barrier;
-                s.spawn(move || {
-                    // Connect before the barrier so the schedule anchor
-                    // excludes TCP setup.
-                    let stream = TcpStream::connect(cfg.addr)?;
-                    stream.set_nodelay(true)?;
-                    barrier.wait();
-                    drive_connection(cfg, stream, c, per_conn_rate, per_conn_n)
+    let results: Vec<std::io::Result<ConnResult>> = if cfg.client_threads > 0 && sys::SUPPORTED {
+        let threads = cfg.client_threads.min(conns);
+        let barrier = Barrier::new(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let barrier = &barrier;
+                    // Worker t multiplexes global connections
+                    // t, t+threads, t+2·threads, …
+                    let mine: Vec<usize> = (t..conns).step_by(threads).collect();
+                    s.spawn(move || {
+                        drive_multiplexed(cfg, mine, per_conn_rate, per_conn_n, barrier)
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("open-loop connection panicked")).collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join().expect("open-loop worker panicked") {
+                    Ok(v) => v.into_iter().map(Ok).collect::<Vec<_>>(),
+                    Err(e) => vec![Err(e)],
+                })
+                .collect()
+        })
+    } else {
+        let barrier = Barrier::new(conns);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..conns)
+                .map(|c| {
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        // Connect before the barrier so the schedule
+                        // anchor excludes TCP setup.
+                        let stream = TcpStream::connect(cfg.addr)?;
+                        stream.set_nodelay(true)?;
+                        barrier.wait();
+                        drive_connection(cfg, stream, c, per_conn_rate, per_conn_n)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("open-loop connection panicked")).collect()
+        })
+    };
 
     let mut out = OpenLoopResult {
         offered_rps: cfg.offered_rps,
@@ -244,6 +289,289 @@ fn drive_connection(
     }
     r.elapsed = anchor.elapsed();
     Ok(r)
+}
+
+// ---------------------------------------------------------------------------
+// Multiplexed driver: many connections per worker thread, over epoll
+// ---------------------------------------------------------------------------
+
+/// What the in-flight request is waiting for (one outstanding per
+/// connection, so this is the whole response-parser state).
+enum Await {
+    /// A `set` is out; next line must be `STORED`.
+    Stored,
+    /// A `get` is out; status lines (`VALUE`/`END`) are arriving.
+    GetStatus { hit: bool },
+    /// Inside a `get` response: the next line is the data block.
+    GetData,
+}
+
+/// One multiplexed connection's full state.
+struct MuxConn {
+    stream: TcpStream,
+    requests: RequestStream,
+    arrivals: Xorshift,
+    /// Requests not yet sent (the fixed schedule).
+    remaining: u64,
+    /// Cumulative schedule offset from the anchor.
+    offset: Duration,
+    /// When the next request is due (`None` while one is in flight or
+    /// after the schedule is exhausted).
+    next_due: Option<Instant>,
+    /// The in-flight request's scheduled send time and parser state.
+    in_flight: Option<(Instant, Await)>,
+    /// Unsent request bytes (socket pushed back; `EPOLLOUT` armed).
+    out: Vec<u8>,
+    /// Received-but-unparsed response bytes.
+    inbuf: Vec<u8>,
+    /// Whether `EPOLLOUT` is currently registered.
+    wants_out: bool,
+    r: ConnResult,
+    done: bool,
+}
+
+impl MuxConn {
+    /// Draws the next exponential gap and schedules the next arrival.
+    /// Called exactly once per request (at anchor time for the first,
+    /// immediately after each send for the rest) — the arrival process
+    /// never depends on responses; only the *release* of a due send is
+    /// gated on the previous response (one outstanding), with the wait
+    /// charged CO-free to the schedule.
+    fn schedule_next(&mut self, rate: f64, anchor: Instant) {
+        if self.remaining == 0 {
+            self.next_due = None;
+            return;
+        }
+        let gap = -(1.0 - self.arrivals.unit()).ln() / rate;
+        self.offset += Duration::from_secs_f64(gap);
+        self.next_due = Some(anchor + self.offset);
+    }
+}
+
+/// Drives `mine` (global connection indices) on one worker thread:
+/// non-blocking sockets in one epoll set, sends released by schedule
+/// time, responses parsed incrementally as they arrive.
+fn drive_multiplexed(
+    cfg: &OpenLoopConfig,
+    mine: Vec<usize>,
+    rate: f64,
+    n: u64,
+    barrier: &Barrier,
+) -> std::io::Result<Vec<ConnResult>> {
+    let ep = Epoll::create()?;
+    let mut conns = Vec::with_capacity(mine.len());
+    for (slot, &c) in mine.iter().enumerate() {
+        let stream = TcpStream::connect(cfg.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        ep.add(stream.as_raw_fd(), sys::EPOLLIN, slot as u64)?;
+        conns.push(MuxConn {
+            stream,
+            requests: RequestStream::new(&cfg.workload, c),
+            arrivals: Xorshift::for_thread(cfg.seed ^ 0x6f70_656e_6c6f_6f70, c),
+            remaining: n,
+            offset: Duration::ZERO,
+            next_due: None,
+            in_flight: None,
+            out: Vec::new(),
+            inbuf: Vec::new(),
+            wants_out: false,
+            r: ConnResult {
+                sent: 0,
+                sets: 0,
+                hits: 0,
+                misses: 0,
+                elapsed: Duration::ZERO,
+                latency: Histogram::new(),
+            },
+            done: false,
+        });
+    }
+    // All of this worker's sockets are connected; wait for the other
+    // workers so every connection's schedule anchors together.
+    barrier.wait();
+    let anchor = Instant::now();
+    for conn in &mut conns {
+        conn.schedule_next(rate, anchor);
+    }
+
+    let mut events = [EpollEvent::default(); 64];
+    let mut rbuf = [0u8; 16 * 1024];
+    let mut line = String::new();
+    while !conns.iter().all(|c| c.done) {
+        // Release every due send, then find the earliest *releasable*
+        // pending one (a due-but-in-flight connection waits on its
+        // response, which epoll delivers, not on the clock).
+        let now = Instant::now();
+        let mut earliest: Option<Instant> = None;
+        for (slot, conn) in conns.iter_mut().enumerate() {
+            if conn.in_flight.is_none() {
+                if let Some(due) = conn.next_due {
+                    if due <= now {
+                        send_request(conn, &ep, slot as u64)?;
+                        conn.schedule_next(rate, anchor);
+                    } else {
+                        earliest = Some(earliest.map_or(due, |e| e.min(due)));
+                    }
+                }
+            }
+        }
+        // Sleep in epoll until the next scheduled send (rounded *down*
+        // to epoll's millisecond grain: overshooting would charge the
+        // rounding into every CO-free latency sample; undershooting
+        // merely re-polls — sub-millisecond waits spin through
+        // epoll_wait(0), exactly like wrk2's send loop). With no send
+        // pending, park until response bytes arrive.
+        let timeout = match earliest {
+            Some(due) => due.saturating_duration_since(Instant::now()).as_millis() as i32,
+            None if conns.iter().any(|c| !c.done) => -1,
+            None => 0,
+        };
+        let nev = ep.wait(&mut events, timeout)?;
+        for ev in &events[..nev] {
+            let slot = ev.token() as usize;
+            if ev.events() & sys::EPOLLOUT != 0 {
+                flush_out(&mut conns[slot], &ep, ev.token())?;
+            }
+            if ev.events() & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLERR) != 0 {
+                read_responses(&mut conns[slot], &mut rbuf, &mut line, anchor)?;
+            }
+        }
+    }
+    Ok(conns.into_iter().map(|c| c.r).collect())
+}
+
+/// Renders and (non-blockingly) sends one request; unsent bytes park in
+/// `conn.out` with `EPOLLOUT` armed.
+fn send_request(conn: &mut MuxConn, ep: &Epoll, token: u64) -> std::io::Result<()> {
+    let scheduled = conn.next_due.expect("due send");
+    let req = conn.requests.next().expect("infinite stream");
+    debug_assert!(conn.out.is_empty(), "one outstanding request per connection");
+    match req {
+        Request::Set(key, value) => {
+            let data = value.to_string();
+            write!(conn.out, "set {key} 0 0 {}\r\n{data}\r\n", data.len())?;
+            conn.in_flight = Some((scheduled, Await::Stored));
+        }
+        Request::Get(key) => {
+            write!(conn.out, "get {key}\r\n")?;
+            conn.in_flight = Some((scheduled, Await::GetStatus { hit: false }));
+        }
+    }
+    conn.remaining -= 1;
+    flush_out(conn, ep, token)
+}
+
+/// Writes as much parked output as the socket accepts, keeping the
+/// `EPOLLOUT` registration in sync with whether any remains.
+fn flush_out(conn: &mut MuxConn, ep: &Epoll, token: u64) -> std::io::Result<()> {
+    let mut written = 0;
+    let res = loop {
+        if written >= conn.out.len() {
+            break Ok(());
+        }
+        match conn.stream.write(&conn.out[written..]) {
+            Ok(0) => {
+                break Err(std::io::Error::new(ErrorKind::WriteZero, "socket wrote zero"));
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    };
+    conn.out.drain(..written);
+    res?;
+    let want_out = !conn.out.is_empty();
+    if want_out != conn.wants_out {
+        conn.wants_out = want_out;
+        let interest = sys::EPOLLIN | if want_out { sys::EPOLLOUT } else { 0 };
+        ep.modify(conn.stream.as_raw_fd(), interest, token)?;
+    }
+    Ok(())
+}
+
+/// Drains the socket and parses every complete response line, closing
+/// out in-flight requests as their terminators arrive.
+fn read_responses(
+    conn: &mut MuxConn,
+    rbuf: &mut [u8],
+    line: &mut String,
+    anchor: Instant,
+) -> std::io::Result<()> {
+    loop {
+        match conn.stream.read(rbuf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                ));
+            }
+            Ok(n) => conn.inbuf.extend_from_slice(&rbuf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    // Parse complete `\r\n` lines; a partial line stays buffered.
+    let mut consumed = 0;
+    while let Some(rel) = find_crlf(&conn.inbuf[consumed..]) {
+        line.clear();
+        line.push_str(
+            std::str::from_utf8(&conn.inbuf[consumed..consumed + rel])
+                .map_err(|_| proto_err("<non-utf8>"))?,
+        );
+        consumed += rel + 2;
+        let Some((scheduled, state)) = conn.in_flight.take() else {
+            return Err(proto_err(line));
+        };
+        match state {
+            Await::Stored => {
+                if line != "STORED" {
+                    return Err(proto_err(line));
+                }
+                conn.r.sets += 1;
+                complete_request(conn, scheduled, anchor);
+            }
+            Await::GetStatus { hit } => {
+                if line == "END" {
+                    if hit {
+                        conn.r.hits += 1;
+                    } else {
+                        conn.r.misses += 1;
+                    }
+                    complete_request(conn, scheduled, anchor);
+                } else if line.starts_with("VALUE ") {
+                    conn.in_flight = Some((scheduled, Await::GetData));
+                } else {
+                    return Err(proto_err(line));
+                }
+            }
+            Await::GetData => {
+                // The data block is a single digits-only line.
+                conn.in_flight = Some((scheduled, Await::GetStatus { hit: true }));
+            }
+        }
+    }
+    conn.inbuf.drain(..consumed);
+    Ok(())
+}
+
+/// Records the CO-free latency sample for a completed request; the
+/// last response of the schedule closes the connection's books.
+fn complete_request(conn: &mut MuxConn, scheduled: Instant, anchor: Instant) {
+    let lat = Instant::now().saturating_duration_since(scheduled);
+    conn.r.latency.record(lat.as_nanos().min(u128::from(u64::MAX)) as u64);
+    conn.r.sent += 1;
+    if conn.remaining == 0 {
+        conn.r.elapsed = anchor.elapsed();
+        conn.done = true;
+    }
+}
+
+/// Byte offset of the first `\r\n` in `buf`, if any.
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
 }
 
 fn proto_err(line: &str) -> std::io::Error {

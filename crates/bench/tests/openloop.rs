@@ -1,0 +1,123 @@
+//! End-to-end open-loop client tests over a real event-driven server:
+//! the multiplexed (epoll) driver and the thread-per-connection driver
+//! must offer the identical schedule and account for every request.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::openloop::{run_open_loop, OpenLoopConfig};
+use nvmemcached::memtier::Workload;
+use nvmemcached::sharded::ShardedNvMemcached;
+use pmem::{LatencyModel, Mode, PoolBuilder};
+use server::{Server, ServerConfig};
+
+fn serve(shards: usize) -> (Server, u64) {
+    const RANGE: u64 = 2_000;
+    let pools: Vec<_> = (0..shards)
+        .map(|_| {
+            PoolBuilder::new(32 << 20).mode(Mode::CrashSim).latency(LatencyModel::ZERO).build()
+        })
+        .collect();
+    let cache =
+        Arc::new(ShardedNvMemcached::create(&pools, 1024, 100_000, true).expect("pool sized"));
+    {
+        let mut ctx = cache.register();
+        for k in Workload::paper(RANGE, 42).warmup_keys() {
+            cache.set(&mut ctx, k, k).expect("pool sized");
+        }
+    }
+    (Server::start_local(cache).expect("bind loopback"), RANGE)
+}
+
+fn cfg(server: &Server, range: u64, conns: usize, client_threads: usize) -> OpenLoopConfig {
+    OpenLoopConfig {
+        addr: server.local_addr(),
+        connections: conns,
+        offered_rps: 4_000.0,
+        duration: Duration::from_millis(150),
+        workload: Workload::paper(range, 42),
+        seed: 1914,
+        client_threads,
+    }
+}
+
+/// The multiplexed driver against the event-driven server: many more
+/// connections than either server workers or client threads, full
+/// schedule drained, every request accounted for exactly once.
+#[test]
+fn multiplexed_client_drains_the_full_schedule() {
+    if !server::sys::SUPPORTED {
+        return;
+    }
+    let (server, range) = serve(2);
+    let conns = 16;
+    let r = run_open_loop(&cfg(&server, range, conns, 2)).expect("open-loop run");
+
+    // The schedule is fixed: ceil(per-conn rate x duration) per conn.
+    let per_conn = (4_000.0 / conns as f64 * 0.150_f64).ceil() as u64;
+    assert_eq!(r.sent, per_conn * conns as u64, "every scheduled request completed");
+    assert_eq!(r.latency.count(), r.sent, "one latency sample per request");
+    assert_eq!(r.sets + r.hits + r.misses, r.sent, "every request classified");
+    assert!(r.sets > 0, "the 1:4 mix sent sets");
+    assert!(r.hits > 0, "warmed cache produced hits");
+    assert!(r.hit_rate() > 0.5, "hit rate {}", r.hit_rate());
+    assert!(r.achieved_rps() > 0.0);
+    assert!(r.latency.percentile(50.0) > 0);
+    server.shutdown();
+}
+
+/// Driver equivalence: both drivers draw the same per-connection
+/// arrival schedules and request streams (seeded by global connection
+/// index), so swapping drivers changes *who waits*, never *what is
+/// offered* — same request counts, same set/get split, same keys (and
+/// therefore, against freshly warmed identical caches, the same hits).
+#[test]
+fn multiplexed_and_threaded_drivers_offer_the_same_load() {
+    if !server::sys::SUPPORTED {
+        return;
+    }
+    let (server_a, range) = serve(2);
+    let mux = run_open_loop(&cfg(&server_a, range, 8, 2)).expect("multiplexed run");
+    server_a.shutdown();
+
+    let (server_b, range) = serve(2);
+    let threaded = run_open_loop(&cfg(&server_b, range, 8, 0)).expect("threaded run");
+    server_b.shutdown();
+
+    assert_eq!(mux.sent, threaded.sent);
+    assert_eq!(mux.sets, threaded.sets);
+    assert_eq!(mux.hits, threaded.hits);
+    assert_eq!(mux.misses, threaded.misses);
+}
+
+/// The blocking client against the blocking server still works (the
+/// non-Linux pairing), provided workers cover the connections.
+#[test]
+fn threaded_client_against_blocking_server() {
+    const RANGE: u64 = 2_000;
+    let pools: Vec<_> = (0..2)
+        .map(|_| {
+            PoolBuilder::new(32 << 20).mode(Mode::CrashSim).latency(LatencyModel::ZERO).build()
+        })
+        .collect();
+    let cache =
+        Arc::new(ShardedNvMemcached::create(&pools, 1024, 100_000, true).expect("pool sized"));
+    let server = Server::start(
+        cache,
+        ServerConfig { workers: Some(4), event_loop: false, ..ServerConfig::default() },
+    )
+    .expect("bind loopback");
+    let r = run_open_loop(&OpenLoopConfig {
+        addr: server.local_addr(),
+        connections: 4,
+        offered_rps: 2_000.0,
+        duration: Duration::from_millis(100),
+        workload: Workload::paper(RANGE, 42),
+        seed: 7,
+        client_threads: 0,
+    })
+    .expect("open-loop run");
+    assert_eq!(r.sent, r.latency.count());
+    assert!(r.sent >= 4);
+    server.shutdown();
+}

@@ -420,9 +420,12 @@ impl ShardedCtx {
         }
     }
 
-    /// Flushes this connection's request tallies into the pinned
-    /// topology's shared counters.
-    fn flush_tallies(&mut self) {
+    /// Flushes this context's request tallies into the pinned
+    /// topology's shared counters. Runs automatically on drop; a
+    /// long-lived context multiplexing many connections (the
+    /// event-driven server's per-worker context) calls it at each
+    /// connection close so `shard_requests` stays live.
+    pub fn flush_tallies(&mut self) {
         for (tally, shared) in self.tallies.iter_mut().zip(self.top.requests.iter()) {
             if *tally > 0 {
                 shared.0.fetch_add(*tally, Ordering::Relaxed);

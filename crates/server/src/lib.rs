@@ -15,10 +15,14 @@
 //!   dialect (pure bytes-in/commands-out; tolerates arbitrary
 //!   fragmentation and pipelining).
 //! * [`session`] — one connection's command execution against the
-//!   shared cache, batching responses per input burst.
-//! * [`net`] — the TCP server: a thread-per-core accept loop sized to
-//!   the shard topology, and a graceful shutdown that quiesces every
-//!   shard pool before handing the cache back.
+//!   shared cache, batching responses per input burst; contexts are
+//!   passed in per call, so one worker's context set can serve many
+//!   multiplexed sessions.
+//! * [`net`] — the TCP server: thread-per-core epoll readiness loops
+//!   (over the raw-syscall [`sys`] shim) multiplexing non-blocking
+//!   connections with write backpressure, a blocking
+//!   thread-per-connection fallback, and a graceful shutdown that
+//!   quiesces every shard pool before handing the cache back.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -41,7 +45,8 @@
 pub mod net;
 pub mod protocol;
 pub mod session;
+pub mod sys;
 
-pub use net::{Server, ServerConfig};
+pub use net::{Server, ServerConfig, ServerStats};
 pub use protocol::{Command, Parser};
 pub use session::Session;

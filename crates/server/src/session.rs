@@ -1,44 +1,61 @@
 //! One client connection's request/response state machine, decoupled
-//! from the transport.
+//! from the transport **and** from thread ownership.
 //!
-//! A [`Session`] owns a [`Parser`], a per-connection [`ShardedCtx`] and
-//! a write-batch buffer: the server (or a test) pushes whatever bytes
-//! the transport produced through [`Session::input`], and every
-//! complete pipelined command in them is executed immediately, its
-//! response appended to the batch. The transport then flushes
-//! [`Session::output`] with a single write — per-connection write
-//! batching falls out of the structure instead of needing a timer.
+//! A [`Session`] owns a [`Parser`] and a write-batch buffer: the server
+//! (or a test) pushes whatever bytes the transport produced through
+//! [`Session::input`], and every complete pipelined command in them is
+//! executed immediately, its response appended to the batch. The
+//! transport then flushes [`Session::output`] — in one write when the
+//! client keeps up, in as many partial writes as backpressure dictates
+//! when it does not (the consumed prefix is tracked by the caller; see
+//! `net.rs`).
+//!
+//! The session does **not** own a [`ShardedCtx`]: per-shard contexts
+//! are a property of the *serving thread*, not the connection, so the
+//! event-driven server creates one context set per worker and passes it
+//! to every session it multiplexes. The blocking fallback (and the
+//! tests) simply register one context per connection and pass that.
 //!
 //! Because the session is transport-free, the proptest suite can drive
 //! it directly: the same byte stream, however fragmented, must produce
 //! byte-identical output.
 
 use std::io::Write;
+use std::sync::Arc;
 
 use nvmemcached::sharded::{ShardedCtx, ShardedNvMemcached};
 
+use crate::net::ServerStats;
 use crate::protocol::{Command, Fatal, Parser};
 
 /// A connection's protocol state bound to the shared cache.
 pub struct Session<'a> {
     cache: &'a ShardedNvMemcached,
-    ctx: ShardedCtx,
     parser: Parser,
     out: Vec<u8>,
     open: bool,
+    /// Server-wide observability counters surfaced by `stats`; absent
+    /// when the session is driven without a server (tests, tools).
+    stats: Option<Arc<ServerStats>>,
 }
 
 impl<'a> Session<'a> {
-    /// Opens a session: registers the calling thread with every shard.
+    /// Opens a session over `cache`.
     pub fn new(cache: &'a ShardedNvMemcached) -> Self {
-        Self { cache, ctx: cache.register(), parser: Parser::new(), out: Vec::new(), open: true }
+        Self { cache, parser: Parser::new(), out: Vec::new(), open: true, stats: None }
     }
 
-    /// Feeds transport bytes, executing every complete command and
-    /// appending the batched responses to [`Session::output`]. Returns
-    /// `false` once the connection should be closed after flushing the
-    /// output (`quit`, or an unrecoverable protocol error).
-    pub fn input(&mut self, bytes: &[u8]) -> bool {
+    /// Opens a session that reports the server's connection and byte
+    /// counters in its `stats` response.
+    pub fn with_stats(cache: &'a ShardedNvMemcached, stats: Arc<ServerStats>) -> Self {
+        Self { stats: Some(stats), ..Self::new(cache) }
+    }
+
+    /// Feeds transport bytes, executing every complete command against
+    /// `ctx` and appending the batched responses to [`Session::output`].
+    /// Returns `false` once the connection should be closed after
+    /// flushing the output (`quit`, or an unrecoverable protocol error).
+    pub fn input(&mut self, bytes: &[u8], ctx: &mut ShardedCtx) -> bool {
         if !self.open {
             return false;
         }
@@ -46,7 +63,7 @@ impl<'a> Session<'a> {
         loop {
             match self.parser.next_command() {
                 Ok(Some(cmd)) => {
-                    if !self.exec(cmd) {
+                    if !self.exec(cmd, ctx) {
                         self.open = false;
                         break;
                     }
@@ -62,15 +79,24 @@ impl<'a> Session<'a> {
         self.open
     }
 
-    /// The accumulated response batch (flush with one write, then
-    /// [`Session::clear_output`]).
+    /// The accumulated response batch. The transport flushes as much as
+    /// the socket accepts and reports the consumed prefix back through
+    /// [`Session::consume_output`]; tests flush everything and call
+    /// [`Session::clear_output`].
     pub fn output(&self) -> &[u8] {
         &self.out
     }
 
-    /// Discards the flushed batch.
+    /// Discards the whole flushed batch.
     pub fn clear_output(&mut self) {
         self.out.clear();
+    }
+
+    /// Discards the flushed `n`-byte prefix of the batch, keeping the
+    /// unsent remainder for the next writable window (partial-write
+    /// backpressure).
+    pub fn consume_output(&mut self, n: usize) {
+        self.out.drain(..n);
     }
 
     /// Whether the connection is still open.
@@ -84,10 +110,10 @@ impl<'a> Session<'a> {
     }
 
     /// Executes one command; `false` means close after flushing.
-    fn exec(&mut self, cmd: Command) -> bool {
+    fn exec(&mut self, cmd: Command, ctx: &mut ShardedCtx) -> bool {
         match cmd {
             Command::Set { key, value, noreply } => {
-                let r = self.cache.set(&mut self.ctx, key, value);
+                let r = self.cache.set(ctx, key, value);
                 if !noreply {
                     match r {
                         Ok(()) => self.line("STORED"),
@@ -96,7 +122,7 @@ impl<'a> Session<'a> {
                 }
             }
             Command::Add { key, value, noreply } => {
-                let r = self.cache.add(&mut self.ctx, key, value);
+                let r = self.cache.add(ctx, key, value);
                 if !noreply {
                     match r {
                         Ok(true) => self.line("STORED"),
@@ -106,7 +132,7 @@ impl<'a> Session<'a> {
                 }
             }
             Command::Replace { key, value, noreply } => {
-                let r = self.cache.replace(&mut self.ctx, key, value);
+                let r = self.cache.replace(ctx, key, value);
                 if !noreply {
                     match r {
                         Ok(true) => self.line("STORED"),
@@ -117,7 +143,7 @@ impl<'a> Session<'a> {
             }
             Command::Get { keys } => {
                 for key in keys {
-                    if let Some(value) = self.cache.get(&mut self.ctx, key) {
+                    if let Some(value) = self.cache.get(ctx, key) {
                         let data = value.to_string();
                         let _ = write!(self.out, "VALUE {key} 0 {}\r\n{data}\r\n", data.len());
                     }
@@ -125,7 +151,7 @@ impl<'a> Session<'a> {
                 self.line("END");
             }
             Command::Delete { key, noreply } => {
-                let hit = self.cache.delete(&mut self.ctx, key).is_some();
+                let hit = self.cache.delete(ctx, key).is_some();
                 if !noreply {
                     self.line(if hit { "DELETED" } else { "NOT_FOUND" });
                 }
@@ -133,6 +159,12 @@ impl<'a> Session<'a> {
             Command::Stats => {
                 self.line(&format!("STAT shards {}", self.cache.n_shards()));
                 self.line(&format!("STAT curr_items {}", self.cache.len()));
+                if let Some(stats) = self.stats.clone() {
+                    self.line(&format!("STAT curr_connections {}", stats.conns()));
+                    self.line(&format!("STAT total_connections {}", stats.accepts()));
+                    self.line(&format!("STAT bytes_read {}", stats.bytes_read()));
+                    self.line(&format!("STAT bytes_written {}", stats.bytes_written()));
+                }
                 self.line("END");
             }
             Command::StatsReshard => {

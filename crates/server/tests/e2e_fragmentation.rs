@@ -1,0 +1,121 @@
+//! Property test, end-to-end edition: the *event-driven server's*
+//! responses over a real socket are a function of the cumulative byte
+//! stream, never of how the bytes were fragmented in flight.
+//!
+//! The sibling test (`proptest_stream.rs`) pins this for the `Session`
+//! state machine in isolation; here the whole readiness loop is in the
+//! path — non-blocking reads chopped to 3 bytes by `read_cap`, flushes
+//! chopped to 5 bytes by `write_cap` (so every response takes the
+//! partial-write/`EPOLLOUT` backpressure path), client writes split at
+//! random cut points. The reference output comes from driving a
+//! `Session` directly over an identically-created cache.
+//!
+//! Traffic is valid-plus-recoverable-malformed only, and never `stats`:
+//! the live `bytes_read`/`bytes_written` counters in a `stats` response
+//! legitimately depend on transport timing, and a framing-fatal chunk
+//! makes the server close mid-stream, racing the client's remaining
+//! writes against a reset. `quit` terminates every stream so the
+//! server closes after draining and the client can read to EOF.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use nvmemcached::sharded::ShardedNvMemcached;
+use pmem::{LatencyModel, Mode, PoolBuilder};
+use proptest::prelude::*;
+use server::{Server, ServerConfig, Session};
+
+fn cache() -> ShardedNvMemcached {
+    let pools: Vec<_> = (0..2)
+        .map(|_| {
+            PoolBuilder::new(16 << 20).mode(Mode::CrashSim).latency(LatencyModel::ZERO).build()
+        })
+        .collect();
+    ShardedNvMemcached::create(&pools, 256, 10_000, true).expect("pool sized")
+}
+
+/// One syntactic unit of client traffic: weighted toward valid
+/// store/retrieve commands, with a tail of malformed-but-recoverable
+/// lines. No `stats`, nothing framing-fatal (see module docs).
+fn render_chunk(sel: u8, k: u64, v: u64, nr: bool, alt: bool) -> Vec<u8> {
+    let key = k % 63 + 1;
+    let noreply = if nr { " noreply" } else { "" };
+    let data = v.to_string();
+    match sel % 13 {
+        0..=4 => format!("set {key} 0 0 {}{noreply}\r\n{data}\r\n", data.len()).into_bytes(),
+        5 | 6 => {
+            let verb = if alt { "add" } else { "replace" };
+            format!("{verb} {key} 0 0 {}{noreply}\r\n{data}\r\n", data.len()).into_bytes()
+        }
+        7 | 8 => format!("get {key}\r\n").into_bytes(),
+        9 => format!("gets {key} {} {}\r\n", v % 63 + 1, key ^ 1 | 1).into_bytes(),
+        10 => format!("delete {key}{noreply}\r\n").into_bytes(),
+        11 => b"version\r\n".to_vec(),
+        _ => match v % 4 {
+            0 => b"bogus\r\n".to_vec(),
+            1 => b"\r\n".to_vec(),
+            2 => b"get\r\n".to_vec(),
+            _ => format!("set 0 0 0 {}\r\n{data}\r\n", data.len()).into_bytes(),
+        },
+    }
+}
+
+proptest! {
+    // Each case boots a real server; keep the case count socket-sized.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wire_fragmentation_never_changes_responses(
+        chunks in proptest::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>()),
+            1..10,
+        ),
+        cuts in proptest::collection::vec(any::<usize>(), 0..12),
+    ) {
+        let mut stream_bytes: Vec<u8> = chunks
+            .iter()
+            .flat_map(|&(sel, k, v, nr, alt)| render_chunk(sel, k, v, nr, alt))
+            .collect();
+        stream_bytes.extend_from_slice(b"quit\r\n");
+
+        // Reference: the session alone, whole burst in one call.
+        let cache_ref = cache();
+        let mut ctx = cache_ref.register();
+        let mut reference = Session::new(&cache_ref);
+        reference.input(&stream_bytes, &mut ctx);
+
+        // Wire: the event-driven server with reads capped at 3 bytes
+        // and writes at 5, client writes split at random cut points.
+        let server = Server::start(
+            Arc::new(cache()),
+            ServerConfig { read_cap: Some(3), write_cap: Some(5), ..ServerConfig::default() },
+        )
+        .expect("bind loopback");
+        let sock = TcpStream::connect(server.local_addr()).expect("connect");
+        sock.set_nodelay(true).expect("nodelay");
+        let mut w = sock.try_clone().expect("clone");
+
+        let mut pos: Vec<usize> = cuts.iter().map(|&c| c % (stream_bytes.len() + 1)).collect();
+        pos.push(stream_bytes.len());
+        pos.sort_unstable();
+        let reader = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut sock = sock;
+            sock.read_to_end(&mut got).map(|_| got)
+        });
+        let mut prev = 0;
+        for p in pos {
+            if p > prev {
+                w.write_all(&stream_bytes[prev..p]).expect("client write");
+                prev = p;
+            }
+        }
+        let got = reader.join().expect("reader thread").expect("read to EOF");
+        let cache_wire = server.shutdown();
+
+        prop_assert_eq!(reference.output(), &got[..], "wire responses diverged from session");
+        prop_assert!(!reference.is_open(), "quit closes the reference too");
+        prop_assert_eq!(cache_ref.len(), cache_wire.len(), "cache contents diverged");
+    }
+}

@@ -87,12 +87,14 @@ proptest! {
 
         // Reference: the whole pipelined burst in one read.
         let cache_whole = cache();
+        let mut ctx_whole = cache_whole.register();
         let mut whole = Session::new(&cache_whole);
-        whole.input(&stream);
+        whole.input(&stream, &mut ctx_whole);
 
         // Same bytes, arbitrary fragmentation (duplicate and boundary
         // cut points collapse to empty fragments, which are skipped).
         let cache_frag = cache();
+        let mut ctx_frag = cache_frag.register();
         let mut frag = Session::new(&cache_frag);
         let mut pos: Vec<usize> = cuts.iter().map(|&c| c % (stream.len() + 1)).collect();
         pos.push(stream.len());
@@ -100,7 +102,7 @@ proptest! {
         let mut prev = 0;
         for p in pos {
             if p > prev {
-                frag.input(&stream[prev..p]);
+                frag.input(&stream[prev..p], &mut ctx_frag);
                 prev = p;
             }
         }

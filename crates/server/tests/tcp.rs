@@ -334,6 +334,160 @@ fn stats_report_shard_topology() {
     w.write_all(b"stats\r\n").unwrap();
     assert_eq!(read_line(&mut reader), "STAT shards 3");
     assert_eq!(read_line(&mut reader), "STAT curr_items 0");
+    assert_eq!(read_line(&mut reader), "STAT curr_connections 1");
+    assert_eq!(read_line(&mut reader), "STAT total_connections 1");
+    // The request itself ("stats\r\n", 7 bytes) was read before the
+    // counters were rendered.
+    assert_eq!(read_line(&mut reader), "STAT bytes_read 7");
+    assert!(read_line(&mut reader).starts_with("STAT bytes_written "));
     assert_eq!(read_line(&mut reader), "END");
+    server.shutdown();
+}
+
+/// Reads `stats` over `r`/`w` and returns the named counter's value.
+fn stat_counter(w: &mut TcpStream, r: &mut impl BufRead, name: &str) -> u64 {
+    w.write_all(b"stats\r\n").unwrap();
+    let mut found = None;
+    loop {
+        let line = read_line(r);
+        if line == "END" {
+            return found.unwrap_or_else(|| panic!("stats response lacked {name}"));
+        }
+        if let Some(v) = line.strip_prefix(&format!("STAT {name} ")) {
+            found = Some(v.parse().expect("numeric counter"));
+        }
+    }
+}
+
+#[test]
+fn stats_counters_move_with_traffic() {
+    let server = Server::start_local(cache(2)).expect("bind loopback");
+    let addr = server.local_addr();
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut w = stream;
+
+    let conns0 = stat_counter(&mut w, &mut reader, "curr_connections");
+    let accepts0 = stat_counter(&mut w, &mut reader, "total_connections");
+    let read0 = stat_counter(&mut w, &mut reader, "bytes_read");
+    let written0 = stat_counter(&mut w, &mut reader, "bytes_written");
+    assert_eq!(conns0, 1);
+    assert_eq!(accepts0, 1);
+    assert!(read0 > 0 && written0 > 0);
+
+    // A second connection does a round trip and disconnects: accepts
+    // advance past curr_connections, bytes advance on both directions.
+    {
+        let s2 = TcpStream::connect(addr).expect("connect");
+        let mut r2 = BufReader::new(s2.try_clone().expect("clone"));
+        let mut w2 = s2;
+        w2.write_all(b"set 7 0 0 2\r\n77\r\n").unwrap();
+        assert_eq!(read_line(&mut r2), "STORED");
+        w2.write_all(b"quit\r\n").unwrap();
+        let mut rest = Vec::new();
+        r2.read_to_end(&mut rest).expect("eof");
+    }
+
+    // The second connection's teardown is asynchronous to this client;
+    // poll until the server observes the close.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while stat_counter(&mut w, &mut reader, "curr_connections") != 1 {
+        assert!(std::time::Instant::now() < deadline, "close never observed");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(stat_counter(&mut w, &mut reader, "total_connections"), 2);
+    assert!(stat_counter(&mut w, &mut reader, "bytes_read") > read0);
+    assert!(stat_counter(&mut w, &mut reader, "bytes_written") > written0);
+
+    let cache = server.shutdown();
+    assert_eq!(cache.len(), 1);
+}
+
+/// The blocking fallback serves the identical protocol (one worker per
+/// connection) when the event loop is disabled.
+#[test]
+fn blocking_fallback_serves_identically() {
+    let server = Server::start(
+        cache(2),
+        ServerConfig { workers: Some(3), event_loop: false, ..ServerConfig::default() },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..3u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut w = stream;
+                for i in 0..20u64 {
+                    let key = t * 100 + i + 1;
+                    let data = (key * 3).to_string();
+                    w.write_all(format!("set {key} 0 0 {}\r\n{data}\r\n", data.len()).as_bytes())
+                        .unwrap();
+                    assert_eq!(read_line(&mut reader), "STORED");
+                    w.write_all(format!("get {key}\r\n").as_bytes()).unwrap();
+                    assert_eq!(read_line(&mut reader), format!("VALUE {key} 0 {}", data.len()));
+                    assert_eq!(read_line(&mut reader), data);
+                    assert_eq!(read_line(&mut reader), "END");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let cache = server.shutdown();
+    assert_eq!(cache.len(), 3 * 20);
+}
+
+/// Backpressure end-to-end: a client that pipelines a response volume
+/// far beyond the socket buffers *without reading* must neither wedge
+/// the worker (other connections stay live) nor lose bytes once it
+/// finally drains. write_cap forces the partial-write/EPOLLOUT path on
+/// every flush.
+#[test]
+fn slow_client_backpressure_neither_wedges_nor_drops() {
+    let server = Server::start(
+        cache(2),
+        ServerConfig { workers: Some(1), write_cap: Some(1024), ..ServerConfig::default() },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let slow = TcpStream::connect(addr).expect("connect");
+    let mut slow_w = slow.try_clone().expect("clone");
+    // Store one fat-ish value, then pipeline thousands of gets for it
+    // in one burst. The responses (~36 bytes each) total ~1.4 MB —
+    // far beyond socket buffering — while this client reads nothing.
+    let mut burst = b"set 1 0 0 18\r\n123456789012345678\r\n".to_vec();
+    const GETS: usize = 40_000;
+    for _ in 0..GETS {
+        burst.extend_from_slice(b"get 1\r\n");
+    }
+    let writer = std::thread::spawn(move || slow_w.write_all(&burst).map(|()| slow_w));
+
+    // Same (sole) worker: a second connection keeps getting served
+    // while the slow one is parked on backpressure.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let live = TcpStream::connect(addr).expect("connect");
+    let mut live_r = BufReader::new(live.try_clone().expect("clone"));
+    let mut live_w = live;
+    for _ in 0..5 {
+        live_w.write_all(b"version\r\n").unwrap();
+        assert!(read_line(&mut live_r).starts_with("VERSION "));
+    }
+
+    // Now drain the slow client completely: every response must arrive
+    // intact and in order.
+    let mut slow_r = BufReader::new(slow);
+    assert_eq!(read_line(&mut slow_r), "STORED");
+    for i in 0..GETS {
+        assert_eq!(read_line(&mut slow_r), "VALUE 1 0 18", "get #{i}");
+        assert_eq!(read_line(&mut slow_r), "123456789012345678", "get #{i}");
+        assert_eq!(read_line(&mut slow_r), "END", "get #{i}");
+    }
+    let slow_w = writer.join().expect("writer thread").expect("burst written");
+    drop((slow_w, slow_r));
     server.shutdown();
 }

@@ -53,6 +53,9 @@ fn drive(addr: SocketAddr, label: &str, workload: Workload) {
         duration: Duration::from_millis(500),
         workload,
         seed: 1914,
+        // One epoll-driven client thread multiplexes all 4 connections
+        // (falls back to thread-per-connection off Linux).
+        client_threads: 1,
     })
     .expect("open-loop run over loopback");
     println!(
@@ -77,11 +80,9 @@ fn main() {
             cache.set(&mut ctx, k, k).expect("pools sized");
         }
     }
-    let server = Server::start(
-        Arc::clone(&cache),
-        ServerConfig { workers: Some(4), ..ServerConfig::default() },
-    )
-    .expect("bind loopback");
+    // Default config: the epoll event loop multiplexes every connection
+    // over one worker per shard (blocking fallback off Linux).
+    let server = Server::start(Arc::clone(&cache), ServerConfig::default()).expect("bind loopback");
     let addr = server.local_addr();
     println!("serving {} items on {addr}", cache.len());
 
